@@ -1,0 +1,79 @@
+// Command ecnsharp-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ecnsharp-bench [-scale quick|full|smoke] [-list] [ids...]
+//
+// With no ids, every experiment runs in paper order. Each experiment
+// prints the rows/series of the corresponding paper artifact; EXPERIMENTS.md
+// records how to read them against the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ecnsharp/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, full or smoke")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ecnsharp-bench [-scale quick|full|smoke] [-list] [ids...]\n\n")
+		fmt.Fprintf(os.Stderr, "Regenerates the evaluation artifacts of the ECN# paper (CoNEXT'19).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	case "smoke":
+		sc = experiments.SmokeScale()
+	default:
+		fmt.Fprintf(os.Stderr, "ecnsharp-bench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsharp-bench:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		for _, tb := range e.Run(sc) {
+			fmt.Println(tb)
+			if *csvDir != "" {
+				path, err := tb.SaveCSV(*csvDir)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ecnsharp-bench: writing CSV:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("[csv: %s]\n", path)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,152 @@
+// Command ecnsim runs a single simulation and prints FCT statistics —
+// the quickest way to poke at the simulator from the shell.
+//
+// Usage:
+//
+//	ecnsim [flags]
+//
+// Examples:
+//
+//	ecnsim -scheme ecnsharp -workload websearch -load 0.7
+//	ecnsim -scheme red-tail -workload datamining -load 0.5 -flows 500
+//	ecnsim -topo leafspine -scheme codel -load 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ecnsharp/internal/experiments"
+	"ecnsharp/internal/rttvar"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/workload"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "ecnsharp", "AQM: ecnsharp, red-tail, red-avg, codel or tcn")
+		wlName     = flag.String("workload", "websearch", "workload: websearch or datamining")
+		load       = flag.Float64("load", 0.5, "offered load in (0,1]")
+		flows      = flag.Int("flows", 400, "number of flows")
+		seed       = flag.Int64("seed", 1, "random seed")
+		topo       = flag.String("topo", "star", "topology: star (8-host testbed) or leafspine (128 hosts)")
+		rttMinUS   = flag.Float64("rtt-min", 70, "minimum base RTT in microseconds")
+		variation  = flag.Float64("rtt-variation", 3, "RTT variation factor (RTTmax/RTTmin)")
+		tracePath  = flag.String("trace", "", "replay flows from this trace CSV instead of generating them")
+		saveTrace  = flag.String("save-trace", "", "write the generated flows to this trace CSV")
+	)
+	flag.Parse()
+
+	rtt := rttvar.NewVariation(sim.Micros(*rttMinUS), *variation)
+	tail, avg, sharp := experiments.DeriveSchemes(rtt, topology.TenGbps)
+	var scheme experiments.Scheme
+	switch *schemeName {
+	case "ecnsharp":
+		scheme = sharp
+	case "red-tail":
+		scheme = tail
+	case "red-avg":
+		scheme = avg
+	case "codel":
+		scheme = experiments.CoDelScheme(10*sim.Microsecond, rtt.Percentile(90))
+	case "tcn":
+		scheme = experiments.TCNScheme(rtt.Percentile(90))
+	default:
+		fmt.Fprintf(os.Stderr, "ecnsim: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	cdf, err := workload.ByName(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnsim:", err)
+		os.Exit(2)
+	}
+
+	cfg := experiments.RunConfig{
+		Seed:   *seed,
+		Scheme: scheme,
+		RTT:    &rtt,
+	}
+	switch *topo {
+	case "star":
+		cfg.Topo = experiments.TopoStar
+		cfg.Hosts = 8
+		senders := []int{0, 1, 2, 3, 4, 5, 6}
+		cfg.FlowGen = func(rng *rand.Rand) []workload.FlowSpec {
+			return workload.PoissonFlows(rng, workload.PoissonConfig{
+				SizeDist:    cdf,
+				Load:        *load,
+				CapacityBps: topology.TenGbps,
+				Pairs:       workload.StarPairs(senders, 7),
+				FlowCount:   *flows,
+			})
+		}
+	case "leafspine":
+		cfg.Topo = experiments.TopoLeafSpine
+		cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf = 8, 8, 16
+		hosts := make([]int, 128)
+		for i := range hosts {
+			hosts[i] = i
+		}
+		cfg.FlowGen = func(rng *rand.Rand) []workload.FlowSpec {
+			return workload.PoissonFlows(rng, workload.PoissonConfig{
+				SizeDist:    cdf,
+				Load:        *load,
+				CapacityBps: topology.TenGbps,
+				RefLinks:    len(hosts),
+				Pairs:       workload.RandomPairs(hosts),
+				FlowCount:   *flows,
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ecnsim: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(1)
+		}
+		specs, err := workload.ReadSpecs(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(1)
+		}
+		cfg.FlowGen = nil
+		cfg.Flows = specs
+	} else if *saveTrace != "" {
+		specs := cfg.FlowGen(rand.New(rand.NewSource(*seed ^ 0x5eed)))
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(1)
+		}
+		if err := workload.WriteSpecs(f, specs); err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s (%d flows)\n", *saveTrace, len(specs))
+		cfg.FlowGen = nil
+		cfg.Flows = specs
+	}
+
+	r := experiments.Run(cfg)
+	s := r.Stats
+	fmt.Printf("scheme    %s\n", scheme.Label)
+	fmt.Printf("workload  %s @ %.0f%% load, %d flows, RTT %v-%v\n",
+		*wlName, *load*100, r.Injected, rtt.Min, rtt.Max)
+	fmt.Printf("completed %d/%d flows\n\n", r.Completed, r.Injected)
+	fmt.Printf("FCT overall avg      %10.1f us (%d flows)\n", s.OverallAvg, s.OverallCount)
+	fmt.Printf("FCT short (<=100KB)  %10.1f us avg, %10.1f us p99 (%d flows)\n",
+		s.ShortAvg, s.ShortP99, s.ShortCount)
+	fmt.Printf("FCT large (>=10MB)   %10.1f us avg (%d flows)\n", s.LargeAvg, s.LargeCount)
+	fmt.Printf("\nswitch drops %d, CE marks %d, timeouts %d, retransmits %d\n",
+		r.Drops, r.Marks, r.Timeouts, r.Retransmits)
+}

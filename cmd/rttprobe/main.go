@@ -1,0 +1,24 @@
+// Command rttprobe regenerates Table 1 / Figure 1: base-RTT statistics of
+// the five processing-component combinations (§2.2), sampled from the
+// calibrated component model.
+//
+// Usage:
+//
+//	rttprobe [-samples n] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ecnsharp/internal/experiments"
+)
+
+func main() {
+	samples := flag.Int("samples", 3000, "RTT samples per configuration (the paper uses ~3000)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	t, _ := experiments.Table1(*seed, *samples)
+	fmt.Println(t)
+}

@@ -1,0 +1,100 @@
+// Incast: fire a synchronized burst of query flows at one receiver and
+// watch how the three AQMs handle it — the paper's Figure 10/11 scenario.
+// ECN♯'s instantaneous marking tames the burst (no drops); CoDel reacts a
+// full interval late and overflows the buffer.
+//
+// Run with:
+//
+//	go run ./examples/incast
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/metrics"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/transport"
+	"ecnsharp/internal/workload"
+)
+
+const (
+	senders  = 16
+	receiver = 16
+	fanout   = 120
+)
+
+func run(name string, newAQM func(int) aqm.AQM) {
+	eng := sim.NewEngine()
+	net := topology.Star(eng, senders+1, topology.Options{
+		Link: topology.LinkParams{
+			RateBps:     topology.TenGbps,
+			PropDelay:   sim.Microsecond,
+			BufferBytes: 600 * 1500,
+		},
+		NewAQM: newAQM,
+	})
+
+	cfg := transport.DefaultConfig()
+	cfg.InitCwndSegments = 2
+
+	// Four long-lived flows build whatever standing queue the AQM allows.
+	for i := 0; i < 4; i++ {
+		transport.StartFlow(eng, cfg, net.Host(i), net.Host(receiver),
+			uint64(i+1), 1<<40, 0, nil)
+	}
+
+	// The query burst at t=50ms.
+	rng := rand.New(rand.NewSource(7))
+	collector := metrics.NewFCTCollector()
+	specs := workload.QueryFlows(rng, workload.QueryConfig{
+		Senders:  repeat(senders, fanout),
+		Receiver: receiver,
+		At:       50 * sim.Millisecond,
+		MinBytes: 3_000,
+		MaxBytes: 60_000,
+	})
+	for i, spec := range specs {
+		spec := spec
+		transport.StartFlow(eng, cfg, net.Host(spec.Src), net.Host(receiver),
+			uint64(100+i), spec.Size, spec.Start,
+			func(f *transport.Flow) { collector.Record(f.Size, f.FCT, true) })
+	}
+
+	eng.RunUntil(150 * sim.Millisecond)
+
+	eg := net.EgressTo(receiver).Egress
+	s := collector.Stats()
+	fmt.Printf("%-10s drops %4d | query FCT avg %7.1f us p99 %7.1f us (%d/%d done)\n",
+		name, eg.Drops, s.QueryAvg, s.QueryP99, s.QueryCount, fanout)
+}
+
+func repeat(hosts, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % hosts
+	}
+	return out
+}
+
+func main() {
+	fmt.Printf("incast: %d concurrent query flows into one 10G port, 600-packet buffer\n\n", fanout)
+	rtt90 := 220 * sim.Microsecond
+	run("RED-Tail", func(int) aqm.AQM {
+		return aqm.NewREDInstantBytes(core.ThresholdBytes(1, topology.TenGbps, rtt90))
+	})
+	run("CoDel", func(int) aqm.AQM {
+		return aqm.NewCoDel(10*sim.Microsecond, 240*sim.Microsecond)
+	})
+	run("ECN#", func(int) aqm.AQM {
+		return aqm.MustNewECNSharp(core.Params{
+			InsTarget:   rtt90,
+			PstTarget:   10 * sim.Microsecond,
+			PstInterval: 240 * sim.Microsecond,
+		})
+	})
+	fmt.Println("\nCoDel should drop packets; ECN# and RED-Tail should not.")
+}

@@ -1,0 +1,3 @@
+module ecnsharp
+
+go 1.22

@@ -1,0 +1,50 @@
+// Package aqm implements the active queue management schemes compared in
+// the paper: DCTCP-RED (instantaneous marking on a single threshold,
+// queue-length or sojourn-time signal), CoDel (persistent-congestion
+// marking), TCN (instantaneous sojourn-time marking) and ECN♯ (the paper's
+// contribution, adapting internal/core). RED (min/max probabilistic) and
+// PIE are included as extensions for the related-work comparisons sketched
+// in §3.5 and §6.
+//
+// An AQM never drops packets itself in this model: marking-capable
+// datacenter switches mark ECT traffic and rely on tail drop only at buffer
+// overflow, which the queue layer enforces. AQMs observe packets at
+// enqueue (queue-length signals) and dequeue (sojourn-time signals) and
+// return whether the packet must be CE-marked.
+package aqm
+
+import (
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// Backlog describes the instantaneous queue state at enqueue time,
+// excluding the packet being enqueued.
+type Backlog struct {
+	Bytes   int64
+	Packets int
+}
+
+// AQM is the marking interface invoked by switch queues.
+//
+// OnEnqueue runs before the packet is admitted and may mark based on the
+// instantaneous backlog. OnDequeue runs as the packet leaves and may mark
+// based on its sojourn time. A packet is CE-marked if either hook returns
+// true (and the packet is ECN-capable; the queue layer checks ECT).
+type AQM interface {
+	Name() string
+	OnEnqueue(now sim.Time, p *packet.Packet, b Backlog) bool
+	OnDequeue(now sim.Time, p *packet.Packet, sojourn sim.Time) bool
+}
+
+// Nop performs no marking (plain tail-drop FIFO behaviour).
+type Nop struct{}
+
+// Name returns "nop".
+func (Nop) Name() string { return "nop" }
+
+// OnEnqueue never marks.
+func (Nop) OnEnqueue(sim.Time, *packet.Packet, Backlog) bool { return false }
+
+// OnDequeue never marks.
+func (Nop) OnDequeue(sim.Time, *packet.Packet, sim.Time) bool { return false }

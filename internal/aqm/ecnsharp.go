@@ -1,0 +1,52 @@
+package aqm
+
+import (
+	"fmt"
+
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// ECNSharp adapts the reference core.ECNSharp state machine to the queue
+// AQM interface. It is a pure dequeue-side scheme: both the instantaneous
+// and persistent conditions act on the departing packet's sojourn time.
+type ECNSharp struct {
+	core *core.ECNSharp
+}
+
+// NewECNSharp builds an ECN♯ AQM with the given parameters.
+func NewECNSharp(p core.Params) (*ECNSharp, error) {
+	c, err := core.NewECNSharp(p)
+	if err != nil {
+		return nil, err
+	}
+	return &ECNSharp{core: c}, nil
+}
+
+// MustNewECNSharp panics on invalid parameters.
+func MustNewECNSharp(p core.Params) *ECNSharp {
+	e, err := NewECNSharp(p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name returns the scheme name with parameters.
+func (e *ECNSharp) Name() string {
+	p := e.core.Params()
+	return fmt.Sprintf("ecnsharp(ins=%v,pst_target=%v,pst_interval=%v)",
+		p.InsTarget, p.PstTarget, p.PstInterval)
+}
+
+// Core exposes the underlying state machine (for tests and introspection).
+func (e *ECNSharp) Core() *core.ECNSharp { return e.core }
+
+// OnEnqueue never marks; ECN♯ is a dequeue-side scheme.
+func (*ECNSharp) OnEnqueue(sim.Time, *packet.Packet, Backlog) bool { return false }
+
+// OnDequeue marks per the combined instantaneous + persistent decision.
+func (e *ECNSharp) OnDequeue(now sim.Time, _ *packet.Packet, sojourn sim.Time) bool {
+	return e.core.ShouldMark(now, sojourn) != core.NotMarked
+}

@@ -1,0 +1,88 @@
+package aqm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// ECNSharpProb is the §3.5 extension sketch: ECN♯ for transports that
+// need RED-style probabilistic instantaneous marking to converge fairly
+// (DCQCN). The cut-off instantaneous condition becomes a linear marking
+// ramp on sojourn time between TMin and TMax (probability 0 → Pmax),
+// while the persistent-congestion marking of Algorithm 1 is kept
+// unchanged — it is already probabilistic in nature, as the paper notes.
+type ECNSharpProb struct {
+	// TMin/TMax bound the probabilistic ramp on sojourn time; they play
+	// the role of DCQCN's Kmin/Kmax translated through Equation 2.
+	TMin sim.Time
+	TMax sim.Time
+	// Pmax is the marking probability at TMax; beyond TMax every packet
+	// is marked.
+	Pmax float64
+
+	core *core.ECNSharp
+	rng  *rand.Rand
+
+	instMarks int64
+}
+
+// NewECNSharpProb builds the probabilistic variant. The persistent
+// parameters come from p (p.InsTarget is ignored in favour of the ramp but
+// must still validate, so pass TMax there). rng must be non-nil.
+func NewECNSharpProb(p core.Params, tmin, tmax sim.Time, pmax float64, rng *rand.Rand) (*ECNSharpProb, error) {
+	if tmax < tmin || tmin <= 0 {
+		return nil, fmt.Errorf("aqm: invalid ramp [%v, %v]", tmin, tmax)
+	}
+	if pmax <= 0 || pmax > 1 {
+		return nil, fmt.Errorf("aqm: Pmax %v out of (0,1]", pmax)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("aqm: ECNSharpProb requires a rand source")
+	}
+	c, err := core.NewECNSharp(p)
+	if err != nil {
+		return nil, err
+	}
+	return &ECNSharpProb{TMin: tmin, TMax: tmax, Pmax: pmax, core: c, rng: rng}, nil
+}
+
+// Name returns the scheme name with the ramp parameters.
+func (e *ECNSharpProb) Name() string {
+	return fmt.Sprintf("ecnsharp-prob(Tmin=%v,Tmax=%v,Pmax=%.2f)", e.TMin, e.TMax, e.Pmax)
+}
+
+// Core exposes the persistent-marking state machine (for tests).
+func (e *ECNSharpProb) Core() *core.ECNSharp { return e.core }
+
+// InstMarks returns how many packets the probabilistic ramp marked.
+func (e *ECNSharpProb) InstMarks() int64 { return e.instMarks }
+
+// OnEnqueue never marks; both conditions act on sojourn time at dequeue.
+func (*ECNSharpProb) OnEnqueue(sim.Time, *packet.Packet, Backlog) bool { return false }
+
+// OnDequeue combines the probabilistic ramp with Algorithm 1.
+func (e *ECNSharpProb) OnDequeue(now sim.Time, _ *packet.Packet, sojourn sim.Time) bool {
+	persistent := e.core.PersistentMark(now, sojourn)
+	if inst := e.rampMark(sojourn); inst {
+		e.instMarks++
+		return true
+	}
+	return persistent
+}
+
+// rampMark applies the RED-style probability curve to the sojourn time.
+func (e *ECNSharpProb) rampMark(sojourn sim.Time) bool {
+	switch {
+	case sojourn <= e.TMin:
+		return false
+	case sojourn >= e.TMax:
+		return true
+	default:
+		frac := float64(sojourn-e.TMin) / float64(e.TMax-e.TMin)
+		return e.rng.Float64() < frac*e.Pmax
+	}
+}

@@ -1,0 +1,117 @@
+package aqm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// PIE is the Proportional-Integral controller Enhanced AQM (Pan et al.,
+// HPSR 2013), adapted to ECN marking. It is included as an extra
+// related-work baseline (§6 discusses PI/PIE as Internet bufferbloat
+// solutions that lack the aggressive instantaneous marking datacenters
+// need).
+//
+// This implementation estimates queueing delay from the most recently
+// observed packet sojourn time and updates the marking probability every
+// TUpdate using the PI control law
+//
+//	p += Alpha·(delay − Target) + Beta·(delay − lastDelay)
+//
+// Packets are marked at enqueue with probability p. The update is driven
+// lazily from packet events, which is exact whenever packets flow at least
+// once per TUpdate (always true at the loads studied here) and harmless
+// otherwise (an idle queue has nothing to mark).
+type PIE struct {
+	Target  sim.Time // target queueing delay
+	TUpdate sim.Time // probability update period
+	Alpha   float64  // proportional gain per second of delay error
+	Beta    float64  // derivative gain per second of delay change
+
+	prob       float64
+	lastDelay  sim.Time
+	curDelay   sim.Time
+	nextUpdate sim.Time
+
+	rng   *rand.Rand
+	marks int64
+}
+
+// NewPIE builds a PIE marker with conventional gains. rng must be non-nil.
+func NewPIE(target, tUpdate sim.Time, rng *rand.Rand) *PIE {
+	if target <= 0 || tUpdate <= 0 {
+		panic("aqm: PIE target and tUpdate must be positive")
+	}
+	if rng == nil {
+		panic("aqm: PIE requires a rand source")
+	}
+	return &PIE{
+		Target:  target,
+		TUpdate: tUpdate,
+		Alpha:   0.125 / float64(sim.Millisecond),
+		Beta:    1.25 / float64(sim.Millisecond),
+		rng:     rng,
+	}
+}
+
+// Name returns the scheme name with parameters.
+func (p *PIE) Name() string {
+	return fmt.Sprintf("pie(target=%v,tupdate=%v)", p.Target, p.TUpdate)
+}
+
+// Marks returns how many packets this AQM marked.
+func (p *PIE) Marks() int64 { return p.marks }
+
+// Prob returns the current marking probability (for tests).
+func (p *PIE) Prob() float64 { return p.prob }
+
+// OnEnqueue marks with the current probability.
+func (p *PIE) OnEnqueue(now sim.Time, _ *packet.Packet, _ Backlog) bool {
+	p.maybeUpdate(now)
+	if p.prob > 0 && p.rng.Float64() < p.prob {
+		p.marks++
+		return true
+	}
+	return false
+}
+
+// OnDequeue feeds the delay estimator.
+func (p *PIE) OnDequeue(now sim.Time, _ *packet.Packet, sojourn sim.Time) bool {
+	p.curDelay = sojourn
+	p.maybeUpdate(now)
+	return false
+}
+
+// maybeUpdate applies the PI control law if a full TUpdate elapsed.
+func (p *PIE) maybeUpdate(now sim.Time) {
+	if p.nextUpdate == 0 {
+		p.nextUpdate = now + p.TUpdate
+		return
+	}
+	for now >= p.nextUpdate {
+		dp := p.Alpha*float64(p.curDelay-p.Target) + p.Beta*float64(p.curDelay-p.lastDelay)
+		// Scale gain down when the probability is small, per the PIE spec,
+		// to avoid oscillation around zero.
+		switch {
+		case p.prob < 0.0001:
+			dp /= 2048
+		case p.prob < 0.001:
+			dp /= 512
+		case p.prob < 0.01:
+			dp /= 128
+		case p.prob < 0.1:
+			dp /= 32
+		}
+		p.prob += dp
+		if p.prob < 0 {
+			p.prob = 0
+		}
+		if p.prob > 1 {
+			p.prob = 1
+		}
+		p.lastDelay = p.curDelay
+		p.nextUpdate += p.TUpdate
+	}
+}

@@ -1,0 +1,178 @@
+package aqm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// REDInstant is the DCTCP-modified RED the paper calls DCTCP-RED:
+// instantaneous marking with a single cut-off threshold Kmin = Kmax = K.
+//
+// Two signal modes are supported. QueueBytes marks at enqueue when the
+// instantaneous backlog exceeds KBytes (how the DCTCP paper and the
+// testbed configure switches, thresholds quoted in KB). SojournTime marks
+// at dequeue when the packet's sojourn time exceeds TSojourn, the
+// Equation-2 equivalent; with a single FIFO queue the two are identical
+// (K = C·T), which is also why the paper notes DCTCP-RED equals TCN when
+// only one queue is active.
+type REDInstant struct {
+	// KBytes is the queue-length threshold; used when Mode == QueueBytes.
+	KBytes int64
+	// TSojourn is the sojourn-time threshold; used when Mode == SojournTime.
+	TSojourn sim.Time
+	// Mode selects the congestion signal.
+	Mode SignalMode
+
+	label string
+	marks int64
+}
+
+// SignalMode selects the congestion signal of an instantaneous marker.
+type SignalMode uint8
+
+// Signal modes.
+const (
+	QueueBytes SignalMode = iota
+	SojournTime
+)
+
+func (m SignalMode) String() string {
+	if m == QueueBytes {
+		return "qlen"
+	}
+	return "sojourn"
+}
+
+// NewREDInstantBytes builds a queue-length DCTCP-RED with threshold k bytes.
+func NewREDInstantBytes(k int64) *REDInstant {
+	return &REDInstant{KBytes: k, Mode: QueueBytes, label: fmt.Sprintf("dctcp-red(K=%dB)", k)}
+}
+
+// NewREDInstantSojourn builds a sojourn-time DCTCP-RED with threshold t.
+func NewREDInstantSojourn(t sim.Time) *REDInstant {
+	return &REDInstant{TSojourn: t, Mode: SojournTime, label: fmt.Sprintf("dctcp-red(T=%v)", t)}
+}
+
+// Name identifies the instance and its threshold.
+func (r *REDInstant) Name() string { return r.label }
+
+// Marks returns how many packets this AQM marked.
+func (r *REDInstant) Marks() int64 { return r.marks }
+
+// OnEnqueue marks when the instantaneous queue length (including this
+// packet) exceeds K, in queue-length mode.
+func (r *REDInstant) OnEnqueue(_ sim.Time, p *packet.Packet, b Backlog) bool {
+	if r.Mode != QueueBytes {
+		return false
+	}
+	if b.Bytes+int64(p.Size()) > r.KBytes {
+		r.marks++
+		return true
+	}
+	return false
+}
+
+// OnDequeue marks when the sojourn time exceeds T, in sojourn mode.
+func (r *REDInstant) OnDequeue(_ sim.Time, _ *packet.Packet, sojourn sim.Time) bool {
+	if r.Mode != SojournTime {
+		return false
+	}
+	if sojourn > r.TSojourn {
+		r.marks++
+		return true
+	}
+	return false
+}
+
+// TCN is the instantaneous sojourn-time marker from "Enabling ECN over
+// Generic Packet Scheduling" (CoNEXT 2016): mark at dequeue when the
+// packet's sojourn time exceeds a fixed threshold. Using sojourn time
+// instead of queue length makes the threshold meaningful under arbitrary
+// packet schedulers, which is why the Figure 13 experiment compares
+// against it.
+type TCN struct {
+	// Threshold is the sojourn-time marking threshold.
+	Threshold sim.Time
+	marks     int64
+}
+
+// NewTCN builds a TCN marker with the given sojourn threshold.
+func NewTCN(threshold sim.Time) *TCN { return &TCN{Threshold: threshold} }
+
+// Name returns "tcn".
+func (t *TCN) Name() string { return fmt.Sprintf("tcn(T=%v)", t.Threshold) }
+
+// Marks returns how many packets this AQM marked.
+func (t *TCN) Marks() int64 { return t.marks }
+
+// OnEnqueue never marks; TCN is a dequeue-side scheme.
+func (*TCN) OnEnqueue(sim.Time, *packet.Packet, Backlog) bool { return false }
+
+// OnDequeue marks when sojourn exceeds the threshold.
+func (t *TCN) OnDequeue(_ sim.Time, _ *packet.Packet, sojourn sim.Time) bool {
+	if sojourn > t.Threshold {
+		t.marks++
+		return true
+	}
+	return false
+}
+
+// RED is classic min/max-threshold probabilistic marking on the
+// instantaneous queue length, as required by DCQCN-style transports
+// (§3.5): below Kmin never mark, above Kmax always mark, and in between
+// mark with probability rising linearly to Pmax.
+type RED struct {
+	KminBytes int64
+	KmaxBytes int64
+	Pmax      float64
+	rng       *rand.Rand
+	marks     int64
+}
+
+// NewRED builds a probabilistic RED marker. rng must be non-nil; it keeps
+// the simulation deterministic under a fixed seed.
+func NewRED(kmin, kmax int64, pmax float64, rng *rand.Rand) *RED {
+	if kmax < kmin {
+		panic("aqm: RED requires Kmax >= Kmin")
+	}
+	if pmax < 0 || pmax > 1 {
+		panic("aqm: RED Pmax must be in [0,1]")
+	}
+	if rng == nil {
+		panic("aqm: RED requires a rand source")
+	}
+	return &RED{KminBytes: kmin, KmaxBytes: kmax, Pmax: pmax, rng: rng}
+}
+
+// Name returns the scheme name with thresholds.
+func (r *RED) Name() string {
+	return fmt.Sprintf("red(Kmin=%dB,Kmax=%dB,Pmax=%.2f)", r.KminBytes, r.KmaxBytes, r.Pmax)
+}
+
+// Marks returns how many packets this AQM marked.
+func (r *RED) Marks() int64 { return r.marks }
+
+// OnEnqueue applies the RED marking curve to the instantaneous backlog.
+func (r *RED) OnEnqueue(_ sim.Time, p *packet.Packet, b Backlog) bool {
+	q := b.Bytes + int64(p.Size())
+	switch {
+	case q <= r.KminBytes:
+		return false
+	case q >= r.KmaxBytes:
+		r.marks++
+		return true
+	default:
+		frac := float64(q-r.KminBytes) / float64(r.KmaxBytes-r.KminBytes)
+		if r.rng.Float64() < frac*r.Pmax {
+			r.marks++
+			return true
+		}
+		return false
+	}
+}
+
+// OnDequeue never marks; RED is an enqueue-side scheme.
+func (*RED) OnDequeue(sim.Time, *packet.Packet, sim.Time) bool { return false }

@@ -1,0 +1,156 @@
+// Package asciiplot renders simple multi-series line charts as text, so
+// the experiment harness can show the *figures* — queue-occupancy traces
+// (Figure 10), goodput phases (Figure 13a), CDFs (Figures 5, 13b) — not
+// just their summary rows, directly in a terminal.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// glyphs mark points of successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Options configure rendering.
+type Options struct {
+	Width  int // plot-area columns (default 64)
+	Height int // plot-area rows (default 12)
+	XLabel string
+	YLabel string
+	// YMin/YMax fix the y range; both zero means auto-scale.
+	YMin, YMax float64
+}
+
+func (o *Options) defaults() {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 12
+	}
+}
+
+// Render draws the series into a text chart with axes and a legend.
+// Series with mismatched X/Y lengths are truncated to the shorter side;
+// empty input yields an empty string.
+func Render(series []Series, opts Options) string {
+	opts.defaults()
+	type pt struct{ x, y float64 }
+	var all []pt
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			all = append(all, pt{s.X[i], s.Y[i]})
+		}
+	}
+	if len(all) == 0 {
+		return ""
+	}
+
+	xmin, xmax := all[0].x, all[0].x
+	ymin, ymax := all[0].y, all[0].y
+	for _, p := range all {
+		xmin = math.Min(xmin, p.x)
+		xmax = math.Max(xmax, p.x)
+		ymin = math.Min(ymin, p.y)
+		ymax = math.Max(ymax, p.y)
+	}
+	if opts.YMin != 0 || opts.YMax != 0 {
+		ymin, ymax = opts.YMin, opts.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(opts.Width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(opts.Height-1))
+			if cx < 0 || cx >= opts.Width || cy < 0 || cy >= opts.Height {
+				continue
+			}
+			row := opts.Height - 1 - cy
+			// First series wins contended cells so overlaps stay readable.
+			if grid[row][cx] == ' ' {
+				grid[row][cx] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	yTop := fmtFloat(ymax)
+	yBot := fmtFloat(ymin)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < opts.Height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case opts.Height - 1:
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", opts.Width))
+	xAxis := fmt.Sprintf("%s%s .. %s", strings.Repeat(" ", labelW+2), fmtFloat(xmin), fmtFloat(xmax))
+	if opts.XLabel != "" {
+		xAxis += "  (" + opts.XLabel + ")"
+	}
+	b.WriteString(xAxis)
+	b.WriteByte('\n')
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s\n", opts.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// fmtFloat prints with enough precision but no trailing noise.
+func fmtFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

@@ -1,0 +1,70 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	if Render(nil, Options{}) != "" {
+		t.Error("empty input produced output")
+	}
+	if Render([]Series{{Name: "x"}}, Options{}) != "" {
+		t.Error("series without points produced output")
+	}
+}
+
+func TestRenderSingleSeries(t *testing.T) {
+	s := Series{Name: "ramp", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}}
+	out := Render([]Series{s}, Options{Width: 20, Height: 6, XLabel: "t", YLabel: "q"})
+	if !strings.Contains(out, "ramp") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "30") || !strings.Contains(out, "0 |") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(t)") || !strings.Contains(out, "y: q") {
+		t.Error("axis names missing")
+	}
+	lines := strings.Split(out, "\n")
+	// A rising ramp: the glyph in the first plot row must be to the right
+	// of the glyph in the last plot row.
+	first := strings.IndexByte(lines[0], '*')
+	last := strings.IndexByte(lines[5], '*')
+	if first <= last {
+		t.Errorf("ramp not rising: first-row col %d, last-row col %d\n%s", first, last, out)
+	}
+}
+
+func TestRenderMultiSeriesGlyphs(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out := Render([]Series{a, b}, Options{Width: 10, Height: 5})
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Errorf("distinct glyphs missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}
+	out := Render([]Series{s}, Options{Width: 10, Height: 4})
+	if out == "" {
+		t.Fatal("constant series rendered empty")
+	}
+}
+
+func TestRenderFixedYRangeClips(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, 1, 2}, Y: []float64{-5, 5, 50}}
+	out := Render([]Series{s}, Options{Width: 10, Height: 4, YMin: 0, YMax: 10})
+	if !strings.Contains(out, "10 |") {
+		t.Errorf("fixed range not applied:\n%s", out)
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2}}
+	out := Render([]Series{s}, Options{})
+	if out == "" {
+		t.Error("mismatched series dropped entirely")
+	}
+}

@@ -1,0 +1,239 @@
+// Package device models the network elements: transmission ports (an
+// egress buffer drained at link rate onto a propagation-delay link),
+// output-queued switches with ECMP forwarding, and hosts that originate
+// and sink traffic.
+//
+// Topology wiring lives in internal/topology; transports attach to hosts
+// via the PacketHandler registration API.
+package device
+
+import (
+	"fmt"
+
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/queue"
+	"ecnsharp/internal/sim"
+)
+
+// Node receives packets delivered by a Port after link propagation.
+type Node interface {
+	// Receive is invoked at packet arrival time.
+	Receive(p *packet.Packet)
+	// Name identifies the node in diagnostics.
+	Name() string
+}
+
+// Port is one transmit interface: an egress buffer drained at RateBps onto
+// a link with propagation delay PropDelay, delivering to Dst.
+//
+// The port serializes one packet at a time: a packet of size S occupies the
+// transmitter for S*8/RateBps, then arrives at Dst PropDelay later.
+type Port struct {
+	eng       *sim.Engine
+	Egress    *queue.Egress
+	RateBps   float64
+	PropDelay sim.Time
+	Dst       Node
+
+	busy bool
+
+	// TxBytes and TxPackets count transmitted (dequeued) traffic.
+	TxBytes   int64
+	TxPackets int64
+}
+
+// NewPort builds a transmit port. The egress must be non-nil.
+func NewPort(eng *sim.Engine, eg *queue.Egress, rateBps float64, prop sim.Time, dst Node) *Port {
+	if eg == nil {
+		panic("device: port needs an egress")
+	}
+	if rateBps <= 0 {
+		panic("device: port rate must be positive")
+	}
+	return &Port{eng: eng, Egress: eg, RateBps: rateBps, PropDelay: prop, Dst: dst}
+}
+
+// TxTime returns the serialization delay of n bytes at this port's rate.
+func (pt *Port) TxTime(n int) sim.Time {
+	return sim.Time(float64(n) * 8 / pt.RateBps * float64(sim.Second))
+}
+
+// Send enqueues p for transmission (possibly dropping on buffer overflow)
+// and kicks the transmitter.
+func (pt *Port) Send(p *packet.Packet) {
+	if pt.Egress.Enqueue(pt.eng.Now(), p) {
+		pt.kick()
+	}
+}
+
+// kick starts transmitting if the port is idle and has queued packets.
+func (pt *Port) kick() {
+	if pt.busy || pt.Egress.Empty() {
+		return
+	}
+	p := pt.Egress.Dequeue(pt.eng.Now())
+	if p == nil {
+		return
+	}
+	pt.busy = true
+	pt.TxBytes += int64(p.Size())
+	pt.TxPackets++
+	tx := pt.TxTime(p.Size())
+	// Transmitter frees after serialization; the packet lands at the
+	// destination one propagation delay later.
+	pt.eng.After(tx, func() {
+		pt.busy = false
+		pt.eng.After(pt.PropDelay, func() { pt.Dst.Receive(p) })
+		pt.kick()
+	})
+}
+
+// Switch is an output-queued switch: packets arriving on any ingress are
+// immediately placed on the egress port chosen by the forwarding table.
+// Equal-cost entries are balanced per-flow by hashing the flow id (ECMP).
+type Switch struct {
+	id  string
+	eng *sim.Engine
+	// fib maps destination host id to the set of equal-cost egress ports.
+	fib map[int][]*Port
+	// RxPackets counts packets received for forwarding.
+	RxPackets int64
+}
+
+// NewSwitch builds an empty switch.
+func NewSwitch(eng *sim.Engine, id string) *Switch {
+	return &Switch{id: id, eng: eng, fib: make(map[int][]*Port)}
+}
+
+// Name implements Node.
+func (s *Switch) Name() string { return s.id }
+
+// AddRoute appends an equal-cost egress port for destination host dst.
+func (s *Switch) AddRoute(dst int, p *Port) {
+	s.fib[dst] = append(s.fib[dst], p)
+}
+
+// Routes returns the ECMP port set for dst (for tests).
+func (s *Switch) Routes(dst int) []*Port { return s.fib[dst] }
+
+// Receive implements Node: forward per FIB with per-flow ECMP.
+func (s *Switch) Receive(p *packet.Packet) {
+	s.RxPackets++
+	ports := s.fib[p.Dst]
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("device: switch %s has no route to host %d", s.id, p.Dst))
+	}
+	var pt *Port
+	if len(ports) == 1 {
+		pt = ports[0]
+	} else {
+		pt = ports[ecmpHash(p.FlowID)%uint64(len(ports))]
+	}
+	pt.Send(p)
+}
+
+// ecmpHash mixes the flow id (splitmix64 finalizer) so that consecutive
+// flow ids spread across equal-cost paths.
+func ecmpHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PacketHandler consumes packets addressed to a flow endpoint on a host.
+type PacketHandler interface {
+	HandlePacket(now sim.Time, p *packet.Packet)
+}
+
+// Host originates and sinks traffic. Outgoing packets pass through an
+// optional per-flow extra delay (the netem-style RTT-variation injection
+// of §2.3) before entering the NIC queue; incoming packets are demuxed to
+// the transport endpoint registered for their flow id.
+type Host struct {
+	ID  int
+	eng *sim.Engine
+	// NIC is the host's uplink transmit port; set by topology wiring.
+	NIC *Port
+
+	handlers   map[uint64]PacketHandler
+	flowDelays map[uint64]sim.Time
+
+	// Default extra delay applied to flows with no specific entry.
+	DefaultDelay sim.Time
+
+	RxPackets int64
+	TxPackets int64
+}
+
+// NewHost builds a host with the given id.
+func NewHost(eng *sim.Engine, id int) *Host {
+	return &Host{
+		ID:         id,
+		eng:        eng,
+		handlers:   make(map[uint64]PacketHandler),
+		flowDelays: make(map[uint64]sim.Time),
+	}
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return fmt.Sprintf("host%d", h.ID) }
+
+// Engine returns the simulation engine the host runs on.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// Register attaches a handler for packets of the given flow arriving at
+// this host. Registering twice for one flow panics: it indicates colliding
+// flow ids.
+func (h *Host) Register(flowID uint64, ph PacketHandler) {
+	if _, dup := h.handlers[flowID]; dup {
+		panic(fmt.Sprintf("device: host %d: duplicate handler for flow %d", h.ID, flowID))
+	}
+	h.handlers[flowID] = ph
+}
+
+// Unregister removes the flow handler (after flow completion).
+func (h *Host) Unregister(flowID uint64) { delete(h.handlers, flowID) }
+
+// SetFlowDelay sets the netem-style extra one-way delay this host adds to
+// every packet it sends for the given flow. The experiments use it to give
+// each flow its base-RTT contribution from processing components.
+func (h *Host) SetFlowDelay(flowID uint64, d sim.Time) {
+	if d < 0 {
+		panic("device: negative flow delay")
+	}
+	h.flowDelays[flowID] = d
+}
+
+// FlowDelay returns the extra delay configured for a flow.
+func (h *Host) FlowDelay(flowID uint64) sim.Time {
+	if d, ok := h.flowDelays[flowID]; ok {
+		return d
+	}
+	return h.DefaultDelay
+}
+
+// Send emits p from this host: after the flow's extra processing delay the
+// packet enters the NIC queue.
+func (h *Host) Send(p *packet.Packet) {
+	if h.NIC == nil {
+		panic(fmt.Sprintf("device: host %d has no NIC", h.ID))
+	}
+	h.TxPackets++
+	d := h.FlowDelay(p.FlowID)
+	if d == 0 {
+		h.NIC.Send(p)
+		return
+	}
+	h.eng.After(d, func() { h.NIC.Send(p) })
+}
+
+// Receive implements Node: demux to the registered flow handler. Packets
+// for unknown flows (e.g. retransmissions arriving after completion) are
+// dropped silently but counted.
+func (h *Host) Receive(p *packet.Packet) {
+	h.RxPackets++
+	if ph, ok := h.handlers[p.FlowID]; ok {
+		ph.HandlePacket(h.eng.Now(), p)
+	}
+}

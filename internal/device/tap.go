@@ -1,0 +1,94 @@
+package device
+
+import (
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// Tap interposes on the path to a Node for fault injection in tests and
+// robustness experiments: targeted drops, added delay, and duplication.
+// The paper's experiments do not inject faults, but the transport's
+// recovery machinery (fast retransmit, NewReno partial ACKs, RTO backoff)
+// must be exercised deterministically, which random buffer overflows can't
+// do.
+type Tap struct {
+	eng *sim.Engine
+	dst Node
+
+	// Drop, when non-nil, discards packets it returns true for.
+	Drop func(p *packet.Packet) bool
+	// Delay, when non-nil, defers delivery by the returned duration.
+	Delay func(p *packet.Packet) sim.Time
+	// Duplicate, when non-nil, delivers a second copy of packets it
+	// returns true for (same pointer: the model treats packets as
+	// immutable after transmission except for AQM marking downstream).
+	Duplicate func(p *packet.Packet) bool
+
+	Dropped    int64
+	Duplicated int64
+	Forwarded  int64
+}
+
+// NewTap wraps dst.
+func NewTap(eng *sim.Engine, dst Node) *Tap {
+	if dst == nil {
+		panic("device: tap needs a destination")
+	}
+	return &Tap{eng: eng, dst: dst}
+}
+
+// Name implements Node.
+func (t *Tap) Name() string { return "tap->" + t.dst.Name() }
+
+// Receive implements Node.
+func (t *Tap) Receive(p *packet.Packet) {
+	if t.Drop != nil && t.Drop(p) {
+		t.Dropped++
+		return
+	}
+	deliver := func() {
+		t.Forwarded++
+		t.dst.Receive(p)
+		if t.Duplicate != nil && t.Duplicate(p) {
+			t.Duplicated++
+			t.dst.Receive(p)
+		}
+	}
+	if t.Delay != nil {
+		if d := t.Delay(p); d > 0 {
+			t.eng.After(d, deliver)
+			return
+		}
+	}
+	deliver()
+}
+
+// DropSeqOnce returns a Drop predicate that discards the first data packet
+// whose sequence number equals seq, then lets everything pass — the
+// canonical single-loss scenario.
+func DropSeqOnce(seq int64) func(*packet.Packet) bool {
+	done := false
+	return func(p *packet.Packet) bool {
+		if !done && p.Kind == packet.Data && p.Seq == seq {
+			done = true
+			return true
+		}
+		return false
+	}
+}
+
+// DropNth returns a Drop predicate discarding every n-th data packet
+// (1-based), modelling a steady loss rate.
+func DropNth(n int64) func(*packet.Packet) bool {
+	if n <= 0 {
+		panic("device: DropNth needs n >= 1")
+	}
+	count := int64(0)
+	return func(p *packet.Packet) bool {
+		if p.Kind != packet.Data {
+			return false
+		}
+		count++
+		return count%n == 0
+	}
+}

@@ -1,0 +1,83 @@
+package device
+
+import (
+	"testing"
+
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+func TestTapForwardsByDefault(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	tap := NewTap(eng, s)
+	tap.Receive(dataPkt(1, 0))
+	if len(s.got) != 1 || tap.Forwarded != 1 {
+		t.Error("tap did not forward")
+	}
+	if tap.Name() != "tap->sink" {
+		t.Errorf("name = %q", tap.Name())
+	}
+}
+
+func TestTapDrop(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	tap := NewTap(eng, s)
+	tap.Drop = DropSeqOnce(1460)
+
+	p1 := dataPkt(1, 0)
+	p1.Seq = 1460
+	tap.Receive(p1)
+	tap.Receive(p1) // second occurrence passes
+	if tap.Dropped != 1 || len(s.got) != 1 {
+		t.Errorf("dropped=%d delivered=%d", tap.Dropped, len(s.got))
+	}
+}
+
+func TestTapDropNth(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	tap := NewTap(eng, s)
+	tap.Drop = DropNth(3)
+	for i := 0; i < 9; i++ {
+		tap.Receive(dataPkt(1, 0))
+	}
+	if tap.Dropped != 3 || len(s.got) != 6 {
+		t.Errorf("dropped=%d delivered=%d", tap.Dropped, len(s.got))
+	}
+	// ACKs are never dropped by DropNth.
+	ack := &packet.Packet{Kind: packet.Ack}
+	for i := 0; i < 10; i++ {
+		tap.Receive(ack)
+	}
+	if tap.Dropped != 3 {
+		t.Error("DropNth dropped an ACK")
+	}
+}
+
+func TestTapDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	tap := NewTap(eng, s)
+	tap.Delay = func(*packet.Packet) sim.Time { return 5 * sim.Microsecond }
+	tap.Receive(dataPkt(1, 0))
+	if len(s.got) != 0 {
+		t.Fatal("delivered before delay elapsed")
+	}
+	eng.Run()
+	if len(s.got) != 1 || s.when[0] != 5*sim.Microsecond {
+		t.Errorf("delivery at %v", s.when)
+	}
+}
+
+func TestTapDuplicate(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	tap := NewTap(eng, s)
+	tap.Duplicate = func(p *packet.Packet) bool { return true }
+	tap.Receive(dataPkt(1, 0))
+	if len(s.got) != 2 || tap.Duplicated != 1 {
+		t.Errorf("delivered=%d duplicated=%d", len(s.got), tap.Duplicated)
+	}
+}

@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Std(nil) != 0 || Std([]float64{5}) != 0 {
+		t.Error("Std of <2 samples != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Std(xs); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Std = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {99, 9.91},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile([]float64{42}, 75); got != 42 {
+		t.Errorf("single sample percentile = %v", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Error("Summarize(nil) nonzero")
+	}
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Errorf("bad summary %+v", s)
+	}
+	if math.Abs(s.Mean-500.5) > 1e-9 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.P50-500.5) > 1 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if math.Abs(s.P99-990) > 1.5 {
+		t.Errorf("P99 = %v", s.P99)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) != nil")
+	}
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Value < pts[j].Value }) {
+		t.Error("CDF values not sorted")
+	}
+	if pts[len(pts)-1].Prob != 1 {
+		t.Errorf("last prob = %v, want 1", pts[len(pts)-1].Prob)
+	}
+	if pts[0].Prob <= 0 {
+		t.Errorf("first prob = %v, want > 0", pts[0].Prob)
+	}
+}

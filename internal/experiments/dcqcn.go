@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/transport"
+)
+
+// DCQCNExtension closes the loop on §3.5: it runs rate-based DCQCN-lite
+// endpoints (the transport the paragraph is about) against three switch
+// marking schemes and measures what DCQCN needs — convergence (Jain
+// fairness of four long flows), utilization, queueing, and drops:
+//
+//   - ECN♯ as published (cut-off instantaneous marking): above the
+//     threshold *every* packet is marked, so every sender receives CNPs in
+//     every interval and cuts in lockstep — utilization collapses.
+//   - RED probabilistic marking (what DCQCN deployments configure).
+//   - ECN♯-prob (the §3.5 variant): the RED-style ramp plus ECN♯'s
+//     persistent-queue marking, which RED lacks.
+func DCQCNExtension(sc Scale) *Table {
+	rtt := LeafSpineRTT()
+	pstParams := core.Params{
+		InsTarget:   rtt.Percentile(90),
+		PstTarget:   10 * sim.Microsecond,
+		PstInterval: 240 * sim.Microsecond,
+	}
+	// Ramp bounds chosen as the Equation-2 sojourn equivalents of DCQCN's
+	// Kmin/Kmax on a 10 G link.
+	tmin := sim.Time(float64(5*1500*8) / topology.TenGbps * float64(sim.Second))
+	tmax := sim.Time(float64(200*1500*8) / topology.TenGbps * float64(sim.Second))
+
+	variants := []struct {
+		name string
+		mk   func(rng *rand.Rand) func(int) aqm.AQM
+	}{
+		{"ECN# cut-off", func(rng *rand.Rand) func(int) aqm.AQM {
+			return ECNSharpScheme(pstParams).Factory(rng)
+		}},
+		{"RED 5KB/200KB/25%", func(rng *rand.Rand) func(int) aqm.AQM {
+			return func(int) aqm.AQM { return aqm.NewRED(5*1500, 200*1500, 0.25, rng) }
+		}},
+		{"ECN#-prob", func(rng *rand.Rand) func(int) aqm.AQM {
+			return func(int) aqm.AQM {
+				a, err := aqm.NewECNSharpProb(pstParams, tmin, tmax, 0.25, rng)
+				if err != nil {
+					panic(err)
+				}
+				return a
+			}
+		}},
+	}
+
+	t := &Table{
+		ID:    "dcqcn",
+		Title: "§3.5 closed loop: DCQCN-lite endpoints under cut-off vs probabilistic marking",
+		Columns: []string{"marking", "goodput sum(Gbps)", "jain fairness",
+			"avg queue(pkts)", "drops"},
+	}
+	for _, v := range variants {
+		sum, jain, avgQ, drops := runDCQCNFairness(v.mk, sc.Seeds[0])
+		t.AddRow(v.name, f2(sum), f3(jain), f1(avgQ), fmt.Sprintf("%d", drops))
+	}
+	t.AddNote("DCQCN needs probabilistic marking: cut-off marking synchronizes cuts and wrecks utilization (§3.5)")
+	return t
+}
+
+// runDCQCNFairness runs four long-lived DCQCN flows into one port and
+// measures steady-state goodput statistics over the second half.
+func runDCQCNFairness(mk func(*rand.Rand) func(int) aqm.AQM, seed int64) (sumGbps, jain, avgQ float64, drops int64) {
+	eng := sim.NewEngine()
+	rng := rand.New(rand.NewSource(seed))
+	net := topology.Star(eng, 5, topology.Options{
+		Link: topology.LinkParams{
+			RateBps:     topology.TenGbps,
+			PropDelay:   2 * sim.Microsecond,
+			BufferBytes: DefaultBufferBytes,
+		},
+		NewAQM: mk(rng),
+	})
+	cfg := transport.DefaultDCQCNConfig()
+	var recvs []*transport.Receiver
+	for i := 0; i < 4; i++ {
+		_, r := transport.StartDCQCNFlow(eng, cfg, net.Host(i), net.Host(4),
+			uint64(i+1), 1<<40, 0, nil)
+		recvs = append(recvs, r)
+	}
+	const half = 100 * sim.Millisecond
+	eng.RunUntil(half)
+	base := make([]int64, len(recvs))
+	for i, r := range recvs {
+		base[i] = r.BytesInOrder
+	}
+	// Sample the queue each ms over the measured half.
+	eg := net.EgressTo(4).Egress
+	var qsum float64
+	var qn int
+	for ms := 1; ms <= 100; ms++ {
+		eng.RunUntil(half + sim.Time(ms)*sim.Millisecond)
+		qsum += float64(eg.Len())
+		qn++
+	}
+	var sum, sumSq float64
+	for i, r := range recvs {
+		g := float64(r.BytesInOrder-base[i]) * 8 / 0.1 / 1e9
+		sum += g
+		sumSq += g * g
+	}
+	if sumSq > 0 {
+		jain = sum * sum / (4 * sumSq)
+	}
+	return sum, jain, qsum / float64(qn), eg.Drops
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/asciiplot"
+	"ecnsharp/internal/dist"
+	"ecnsharp/internal/metrics"
+	"ecnsharp/internal/queue"
+	"ecnsharp/internal/rttvar"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/transport"
+	"ecnsharp/internal/workload"
+)
+
+// Figure 13 setup (§5.4 "Packet scheduler"): DWRR with 3 queues weighted
+// 2:1:1. Three long-lived flows start staggered, each classified into its
+// own queue; short probe flows (3–60 KB) from the remaining senders sample
+// queueing delay across all classes. ECN♯ must preserve the 2:1:1 goodput
+// split while beating TCN on short-flow FCT.
+const (
+	dwrrPhase    = 50 * sim.Millisecond // time between long-flow starts
+	dwrrDeadline = 3 * dwrrPhase        // measurement horizon
+)
+
+// Fig13Result carries the structured outcome for tests.
+type Fig13Result struct {
+	// GoodputGbps[i] is long flow i's goodput during the final phase when
+	// all three queues are active.
+	GoodputGbps [3]float64
+	// Series[i] is the full goodput time series of flow i.
+	Series [3][]metrics.GoodputPoint
+	// ShortAvgFCT is the mean short-probe FCT in µs; ShortFCTs holds the
+	// samples for the CDF (Figure 13b).
+	ShortAvgFCT float64
+	ShortFCTs   []float64
+}
+
+// runFig13 executes the DWRR scenario under the given scheme.
+func runFig13(s Scheme, seed int64, probes int) Fig13Result {
+	eng := sim.NewEngine()
+	rng := rand.New(rand.NewSource(seed))
+	rtt := LeafSpineRTT()
+
+	weights := []int{2, 1, 1}
+	opts := topology.Options{
+		Link: topology.LinkParams{
+			RateBps:     topology.TenGbps,
+			PropDelay:   DefaultPropDelay,
+			BufferBytes: DefaultBufferBytes,
+		},
+		NumQueues: len(weights),
+		NewSched:  func() queue.Scheduler { return queue.NewDWRR(weights) },
+		NewAQM:    s.Factory(rng),
+	}
+	net := topology.Star(eng, 8, opts)
+	receiver := 7
+
+	assigner := rttvar.NewAssigner(rtt, 10*sim.Microsecond, rng)
+	cfgBase := transport.DefaultConfig()
+
+	var res Fig13Result
+	nextID := uint64(1)
+
+	// Long flows: sender i, class i, staggered starts.
+	var meters [3]*metrics.GoodputMeter
+	for i := 0; i < 3; i++ {
+		cfg := cfgBase
+		cfg.Class = i
+		id := nextID
+		nextID++
+		_, extra := assigner.Next()
+		net.Host(i).SetFlowDelay(id, extra)
+		spec := workload.LongFlow(i, receiver, sim.Time(i)*dwrrPhase)
+		fl := transport.StartFlow(eng, cfg, net.Host(i), net.Host(receiver),
+			id, spec.Size, spec.Start, nil)
+		recv := fl.Receiver
+		meters[i] = metrics.NewGoodputMeter(eng, func() int64 { return recv.BytesInOrder },
+			0, dwrrDeadline, 5*sim.Millisecond)
+	}
+
+	// Short probes: uniform 3–60 KB, random class, Poisson at light load so
+	// they sample delay without disturbing the shares.
+	probeSenders := []int{3, 4, 5, 6}
+	collector := metrics.NewFCTCollector()
+	start := sim.Time(0)
+	gap := float64(dwrrDeadline) / float64(probes+1)
+	for k := 0; k < probes; k++ {
+		start += sim.Time(gap * (0.5 + rng.Float64()))
+		if start >= dwrrDeadline-5*sim.Millisecond {
+			break
+		}
+		size := int64(3_000 + rng.Int63n(57_001))
+		src := probeSenders[rng.Intn(len(probeSenders))]
+		cfg := cfgBase
+		cfg.Class = rng.Intn(3)
+		id := nextID
+		nextID++
+		_, extra := assigner.Next()
+		net.Host(src).SetFlowDelay(id, extra)
+		sz := size
+		transport.StartFlow(eng, cfg, net.Host(src), net.Host(receiver), id, sz, start,
+			func(f *transport.Flow) { collector.Record(f.Size, f.FCT, false) })
+	}
+
+	eng.RunUntil(dwrrDeadline)
+
+	for i, m := range meters {
+		res.Series[i] = m.Series
+		// Goodput during the final phase, when all three queues are active.
+		var sum float64
+		var n int
+		for _, p := range m.Series {
+			if p.At > 2*dwrrPhase {
+				sum += p.Gbps
+				n++
+			}
+		}
+		if n > 0 {
+			res.GoodputGbps[i] = sum / float64(n)
+		}
+	}
+	res.ShortAvgFCT = collector.Stats().ShortAvg
+	res.ShortFCTs = collector.ShortFCTsMicros()
+	return res
+}
+
+// Fig13 reproduces Figure 13: (a) per-flow goodput under ECN♯ with DWRR
+// 2:1:1 — the scheduling policy must be preserved — and (b) short-flow FCT
+// of ECN♯ vs TCN (threshold 150 µs per §5.4).
+func Fig13(sc Scale) ([]*Table, Fig13Result, Fig13Result) {
+	rtt := LeafSpineRTT()
+	_, _, sharpScheme := DeriveSchemes(rtt, topology.TenGbps)
+	tcn := TCNScheme(150 * sim.Microsecond)
+
+	probes := sc.FlowCount / 2
+	if probes < 40 {
+		probes = 40
+	}
+	sharp := runFig13(sharpScheme, sc.Seeds[0], probes)
+	tcnRes := runFig13(tcn, sc.Seeds[0], probes)
+
+	ta := &Table{
+		ID:      "fig13a",
+		Title:   "[Simulation] ECN# with DWRR 2:1:1 — long-flow goodput by phase (Fig 13a)",
+		Columns: []string{"time(ms)", "flow1(Gbps)", "flow2(Gbps)", "flow3(Gbps)"},
+	}
+	// Emit the union of series timestamps (all meters share a sampling grid).
+	for idx := range sharp.Series[0] {
+		row := []string{f1(sharp.Series[0][idx].At.Seconds() * 1000)}
+		for f := 0; f < 3; f++ {
+			if idx < len(sharp.Series[f]) {
+				row = append(row, f2(sharp.Series[f][idx].Gbps))
+			} else {
+				row = append(row, "0.00")
+			}
+		}
+		ta.AddRow(row...)
+	}
+	ta.AddNote("final-phase goodputs: %.2f / %.2f / %.2f Gbps (paper: ~4.82/2.40/2.40)",
+		sharp.GoodputGbps[0], sharp.GoodputGbps[1], sharp.GoodputGbps[2])
+	var goodputSeries []asciiplot.Series
+	for i := 0; i < 3; i++ {
+		gs := asciiplot.Series{Name: fmt.Sprintf("flow%d", i+1)}
+		for _, p := range sharp.Series[i] {
+			gs.X = append(gs.X, p.At.Seconds()*1000)
+			gs.Y = append(gs.Y, p.Gbps)
+		}
+		goodputSeries = append(goodputSeries, gs)
+	}
+	ta.Raw = asciiplot.Render(goodputSeries, asciiplot.Options{
+		Width: 72, Height: 12, XLabel: "ms", YLabel: "goodput (Gbps)",
+	})
+
+	tb := &Table{
+		ID:      "fig13b",
+		Title:   "[Simulation] short-flow FCT with DWRR: ECN# vs TCN (Fig 13b)",
+		Columns: []string{"scheme", "avg FCT(us)", "p50(us)", "p90(us)", "p99(us)", "samples"},
+	}
+	for _, r := range []struct {
+		name string
+		res  Fig13Result
+	}{{"ECN#", sharp}, {"TCN", tcnRes}} {
+		tb.AddRow(r.name, f1(r.res.ShortAvgFCT),
+			f1(dist.Percentile(r.res.ShortFCTs, 50)),
+			f1(dist.Percentile(r.res.ShortFCTs, 90)),
+			f1(dist.Percentile(r.res.ShortFCTs, 99)),
+			fmt.Sprintf("%d", len(r.res.ShortFCTs)))
+	}
+	tb.AddNote("paper: ECN# 19.6%% better average short-flow FCT than TCN (2341 vs 2913 us)")
+	var cdfSeries []asciiplot.Series
+	for _, r := range []struct {
+		name string
+		res  Fig13Result
+	}{{"ECN#", sharp}, {"TCN", tcnRes}} {
+		cs := asciiplot.Series{Name: r.name}
+		for _, p := range dist.CDF(r.res.ShortFCTs) {
+			cs.X = append(cs.X, p.Value)
+			cs.Y = append(cs.Y, p.Prob)
+		}
+		cdfSeries = append(cdfSeries, cs)
+	}
+	tb.Raw = asciiplot.Render(cdfSeries, asciiplot.Options{
+		Width: 72, Height: 10, XLabel: "short-flow FCT (us)", YLabel: "CDF",
+	})
+	return []*Table{ta, tb}, sharp, tcnRes
+}

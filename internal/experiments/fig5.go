@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ecnsharp/internal/asciiplot"
+	"ecnsharp/internal/workload"
+)
+
+// Fig5 emits the flow-size CDFs of the two production workloads
+// (Figure 5): the knots of each distribution plus their means, confirming
+// both are heavy-tailed.
+func Fig5() *Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Flow size distributions (Fig 5)",
+		Columns: []string{"workload", "size(bytes)", "cdf"},
+	}
+	for _, name := range []string{workload.WebSearch, workload.DataMining} {
+		cdf, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range cdf.Points() {
+			t.AddRow(name, fmt.Sprintf("%.0f", p.Value), f3(p.Prob))
+		}
+		t.AddNote("%s mean flow size: %.0f bytes", name, cdf.Mean())
+	}
+	// Figure 5 plots the CDFs on a log-x axis; render log10(bytes).
+	var series []asciiplot.Series
+	for _, name := range []string{workload.WebSearch, workload.DataMining} {
+		cdf, _ := workload.ByName(name)
+		s := asciiplot.Series{Name: name}
+		for _, p := range cdf.Points() {
+			s.X = append(s.X, math.Log10(p.Value))
+			s.Y = append(s.Y, p.Prob)
+		}
+		series = append(series, s)
+	}
+	t.Raw = asciiplot.Render(series, asciiplot.Options{
+		Width: 72, Height: 10, XLabel: "log10(flow size in bytes)", YLabel: "CDF",
+	})
+	return t
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"ecnsharp/internal/rttvar"
+)
+
+// Table1 regenerates Table 1 / Figure 1: RTT statistics for the five
+// processing-component combinations, with the variation ratio of each
+// case's mean to the first case's (the paper's headline "up to 2.68×").
+func Table1(seed int64, samples int) (*Table, []rttvar.CaseStats) {
+	if samples <= 0 {
+		samples = 3000 // the paper collects ~3000 samples per case
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cases := rttvar.Table1Cases()
+	stats := make([]rttvar.CaseStats, 0, len(cases))
+	t := &Table{
+		ID:      "table1",
+		Title:   "RTT statistics per processing-component combination ([Testbed] Table 1 / Fig 1)",
+		Columns: []string{"combination", "mean(us)", "std(us)", "p90(us)", "p99(us)", "x-vs-stack"},
+	}
+	var base float64
+	for i, c := range cases {
+		s := rttvar.MeasureCase(rng, c, samples)
+		stats = append(stats, s)
+		if i == 0 {
+			base = s.Mean
+		}
+		t.AddRow(s.Name, f1(s.Mean), f1(s.Std), f1(s.P90), f1(s.P99), f2(ratio(s.Mean, base)))
+	}
+	t.AddNote("paper: means 39.3 / 63.9 / 69.3 / 99.2 / 105.5 us; max variation 2.68x")
+	return t, stats
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/metrics"
+	"ecnsharp/internal/rttvar"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/transport"
+)
+
+// ProbExtension evaluates the §3.5 sketch: replacing ECN♯'s cut-off
+// instantaneous marking with a DCQCN-style probabilistic ramp while
+// keeping the persistent-congestion marking. Two checks:
+//
+//  1. The incast scenario of Figure 10: the variant must retain ECN♯'s
+//     burst tolerance (no drops) and standing-queue control.
+//  2. Long-flow fairness: with four competing long flows, probabilistic
+//     marking desynchronizes window cuts, so the Jain fairness index of
+//     per-flow goodput should be at least as good as cut-off marking.
+func ProbExtension(sc Scale) *Table {
+	rtt := LeafSpineRTT()
+	base := core.Params{
+		InsTarget:   rtt.Percentile(90),
+		PstTarget:   10 * sim.Microsecond,
+		PstInterval: 240 * sim.Microsecond,
+	}
+
+	makeCutoff := func(rng *rand.Rand) func(int) aqm.AQM {
+		return ECNSharpScheme(base).Factory(rng)
+	}
+	makeProb := func(rng *rand.Rand) func(int) aqm.AQM {
+		return func(int) aqm.AQM {
+			a, err := aqm.NewECNSharpProb(base, base.InsTarget/2, base.InsTarget, 0.8, rng)
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}
+	}
+
+	t := &Table{
+		ID:    "prob",
+		Title: "§3.5 extension: cut-off vs probabilistic instantaneous marking",
+		Columns: []string{"variant", "standing queue(pkts)", "drops",
+			"query p99(us)", "jain fairness", "goodput sum(Gbps)"},
+	}
+	for _, v := range []struct {
+		name string
+		mk   func(rng *rand.Rand) func(int) aqm.AQM
+	}{
+		{"ECN# (cut-off)", makeCutoff},
+		{"ECN# (probabilistic)", makeProb},
+	} {
+		standing, drops, qp99 := probIncast(v.mk, sc)
+		jain, sum := probFairness(v.mk)
+		t.AddRow(v.name, f1(standing), fmt.Sprintf("%d", drops), f1(qp99),
+			f3(jain), f2(sum))
+	}
+	t.AddNote("both variants should be drop-free with a low standing queue; probabilistic marking must not hurt fairness")
+	return t
+}
+
+// probIncast reruns the Figure-10 scenario with a custom AQM factory.
+func probIncast(mk func(*rand.Rand) func(int) aqm.AQM, sc Scale) (standing float64, drops int64, queryP99 float64) {
+	rtt := LeafSpineRTT()
+	cfg := RunConfig{
+		Seed:           sc.Seeds[0],
+		Topo:           TopoStar,
+		Hosts:          incastHosts,
+		Scheme:         SimECNSharp(), // placeholder; replaced below
+		RTT:            &rtt,
+		Transport:      SimTransport(),
+		FlowGen:        incastFlowGen(100, sc.FlowCount),
+		Deadline:       incastQueryAt + 300*sim.Millisecond,
+		SampleQueueOf:  incastSenders,
+		SampleStart:    incastQueryAt - 5*sim.Millisecond,
+		SampleEnd:      incastQueryAt,
+		SampleInterval: 10 * sim.Microsecond,
+	}
+	cfg.AQMFactory = mk
+	r := Run(cfg)
+	return r.AvgQueuePkts, r.Drops, r.Stats.QueryP99
+}
+
+// probFairness runs four synchronized long flows and reports Jain's index
+// of their goodput plus the aggregate.
+func probFairness(mk func(*rand.Rand) func(int) aqm.AQM) (jain, sumGbps float64) {
+	eng := sim.NewEngine()
+	rng := rand.New(rand.NewSource(17))
+	net := topology.Star(eng, 5, topology.Options{
+		Link: topology.LinkParams{
+			RateBps:     topology.TenGbps,
+			PropDelay:   DefaultPropDelay,
+			BufferBytes: DefaultBufferBytes,
+		},
+		NewAQM: mk(rng),
+	})
+	rtt := LeafSpineRTT()
+	assigner := rttvar.NewAssigner(rtt, 10*sim.Microsecond, rng)
+
+	const horizon = 100 * sim.Millisecond
+	var meters [4]*metrics.GoodputMeter
+	for i := 0; i < 4; i++ {
+		cfg := transport.DefaultConfig()
+		id := uint64(i + 1)
+		_, extra := assigner.Next()
+		net.Host(i).SetFlowDelay(id, extra)
+		fl := transport.StartFlow(eng, cfg, net.Host(i), net.Host(4), id, 1<<40, 0, nil)
+		recv := fl.Receiver
+		meters[i] = metrics.NewGoodputMeter(eng, func() int64 { return recv.BytesInOrder },
+			horizon/2, horizon, 5*sim.Millisecond)
+	}
+	eng.RunUntil(horizon)
+
+	var sum, sumSq float64
+	for _, m := range meters {
+		g := m.AvgGbps()
+		sum += g
+		sumSq += g * g
+	}
+	if sumSq == 0 {
+		return 0, 0
+	}
+	return sum * sum / (4 * sumSq), sum
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func(sc Scale) []*Table
+}
+
+// All returns every experiment keyed by id, in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "RTT statistics of processing-component combinations (Table 1 / Fig 1)",
+			func(sc Scale) []*Table { t, _ := Table1(sc.Seeds[0], 3000); return []*Table{t} }},
+		{"fig2", "instantaneous threshold sweep dilemma (Fig 2)",
+			func(sc Scale) []*Table { return []*Table{Fig2(sc)} }},
+		{"fig3", "RTT variation magnifies the dilemma (Fig 3)",
+			func(sc Scale) []*Table { return []*Table{Fig3(sc)} }},
+		{"fig5", "flow size distributions (Fig 5)",
+			func(sc Scale) []*Table { return []*Table{Fig5()} }},
+		{"fig6", "testbed web-search FCT across loads (Fig 6)",
+			func(sc Scale) []*Table { return Fig6(sc) }},
+		{"fig7", "testbed data-mining FCT across loads (Fig 7)",
+			func(sc Scale) []*Table { return Fig7(sc) }},
+		{"fig8", "ECN# vs Tail under 3x/4x/5x RTT variation (Fig 8)",
+			func(sc Scale) []*Table { return Fig8(sc) }},
+		{"fig9", "128-host leaf-spine simulation (Fig 9)",
+			func(sc Scale) []*Table { return Fig9(sc) }},
+		{"fig10", "microscopic queue occupancy around an incast burst (Fig 10)",
+			func(sc Scale) []*Table { t, _ := Fig10(sc); return []*Table{t} }},
+		{"fig11", "query FCT vs incast fanout (Fig 11)",
+			func(sc Scale) []*Table { return Fig11(sc) }},
+		{"fig12", "parameter sensitivity (Fig 12)",
+			func(sc Scale) []*Table { return Fig12(sc) }},
+		{"fig13", "DWRR packet scheduler: goodput preservation + ECN# vs TCN (Fig 13)",
+			func(sc Scale) []*Table { t, _, _ := Fig13(sc); return t }},
+		{"alg2", "Tofino model: time emulation, census, P4-vs-reference equivalence (§4)",
+			func(sc Scale) []*Table { return []*Table{Alg2(sc.Seeds[0])} }},
+		{"ablation", "design ablation: instantaneous / persistent / sqrt-ramp knockouts",
+			func(sc Scale) []*Table { return []*Table{Ablation(sc)} }},
+		{"prob", "§3.5 extension: probabilistic instantaneous marking for DCQCN-style transports",
+			func(sc Scale) []*Table { return []*Table{ProbExtension(sc)} }},
+		{"buffer", "buffer architectures: static per-port vs shared pool with dynamic thresholds",
+			func(sc Scale) []*Table { return []*Table{BufferModels(sc)} }},
+		{"dcqcn", "§3.5 closed loop: DCQCN-lite endpoints under cut-off vs probabilistic marking",
+			func(sc Scale) []*Table { return []*Table{DCQCNExtension(sc)} }},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

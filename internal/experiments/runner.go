@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/aqm"
+
+	"ecnsharp/internal/metrics"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/queue"
+	"ecnsharp/internal/rttvar"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/transport"
+	"ecnsharp/internal/workload"
+)
+
+// TopoKind selects the network shape of a run.
+type TopoKind int
+
+// Topologies used by the evaluation.
+const (
+	TopoStar TopoKind = iota
+	TopoLeafSpine
+)
+
+// Defaults shared by the experiments (testbed parameters from §5.2).
+const (
+	// DefaultBufferBytes is the per-port switch buffer: ~600 full-size
+	// packets, enough that only genuine incast overload tail-drops (the
+	// Figure 10 traces peak just below it under DCTCP-RED-Tail).
+	DefaultBufferBytes = 600 * 1500
+	// DefaultPropDelay keeps the intrinsic path RTT a few µs, dwarfed by
+	// the injected processing delays, as in the real testbed.
+	DefaultPropDelay = 1 * sim.Microsecond
+)
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Seed int64
+
+	Topo         TopoKind
+	Hosts        int // star size (senders+receiver)
+	Spines       int // leaf-spine dims
+	Leaves       int
+	HostsPerLeaf int
+
+	RateBps     float64
+	PropDelay   sim.Time
+	BufferBytes int64
+	// SharedBufferBytes/DTAlpha switch to per-switch shared-pool buffering
+	// with dynamic thresholds (see queue.SharedPool); BufferBytes is then
+	// ignored.
+	SharedBufferBytes int64
+	DTAlpha           float64
+
+	// NumQueues/Weights configure multi-service DWRR ports (Figure 13);
+	// zero values mean one FIFO queue.
+	NumQueues int
+	Weights   []int
+
+	Scheme    Scheme
+	Transport transport.Config
+
+	// AQMFactory, when non-nil, overrides Scheme's AQM construction —
+	// used by extension experiments whose AQMs are not in the Scheme enum.
+	AQMFactory func(rng *rand.Rand) func(q int) aqm.AQM
+
+	// RTT, when non-nil, injects per-flow base RTTs via netem-style
+	// sender delay.
+	RTT *rttvar.RTTDistribution
+
+	// Flows is the traffic to inject. If FlowGen is set it takes
+	// precedence and regenerates the traffic per seed, so multi-seed
+	// averaging also averages over arrival patterns.
+	Flows   []workload.FlowSpec
+	FlowGen func(rng *rand.Rand) []workload.FlowSpec
+
+	// ClassOf assigns a service class per flow index (Figure 13); nil
+	// means class 0.
+	ClassOf func(i int, f workload.FlowSpec) int
+
+	// SampleQueueOf, when >= 0, samples the last-hop egress to that host
+	// every SampleInterval during [SampleStart, SampleEnd].
+	SampleQueueOf  int
+	SampleStart    sim.Time
+	SampleEnd      sim.Time
+	SampleInterval sim.Time
+
+	// Deadline stops the run early (0 = run until all flows complete).
+	Deadline sim.Time
+}
+
+// RunResult is the outcome of one run.
+type RunResult struct {
+	Stats     metrics.FCTStats
+	Collector *metrics.FCTCollector
+
+	Drops       int64
+	Marks       int64
+	Timeouts    int64
+	Retransmits int64
+	Completed   int
+	Injected    int
+
+	QueueSamples []metrics.QueueSample
+	AvgQueuePkts float64
+	MaxQueuePkts int
+
+	Net *topology.Net
+}
+
+func (c *RunConfig) defaults() {
+	if c.RateBps == 0 {
+		c.RateBps = topology.TenGbps
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = DefaultPropDelay
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = DefaultBufferBytes
+	}
+	if c.Transport.MSS == 0 {
+		c.Transport = transport.DefaultConfig()
+	}
+}
+
+// pathRTT estimates the intrinsic base RTT of the topology without any
+// injected processing delay: propagation both ways over the hop count plus
+// one MTU serialization per forward hop and one ACK serialization back.
+func pathRTT(c *RunConfig) sim.Time {
+	hops := 2 // host->switch->host
+	if c.Topo == TopoLeafSpine {
+		hops = 4 // host->leaf->spine->leaf->host
+	}
+	txData := sim.Time(float64(packet.MTU) * 8 / c.RateBps * float64(sim.Second))
+	txAck := sim.Time(float64(packet.HeaderSize) * 8 / c.RateBps * float64(sim.Second))
+	return sim.Time(2*hops)*c.PropDelay + sim.Time(hops)*(txData+txAck)
+}
+
+// Run executes the configured simulation and gathers results.
+func Run(cfg RunConfig) RunResult {
+	cfg.defaults()
+	eng := sim.NewEngine()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	newAQM := cfg.Scheme.Factory(rng)
+	if cfg.AQMFactory != nil {
+		newAQM = cfg.AQMFactory(rng)
+	}
+	opts := topology.Options{
+		Link: topology.LinkParams{
+			RateBps:     cfg.RateBps,
+			PropDelay:   cfg.PropDelay,
+			BufferBytes: cfg.BufferBytes,
+		},
+		NumQueues:         cfg.NumQueues,
+		NewAQM:            newAQM,
+		SharedBufferBytes: cfg.SharedBufferBytes,
+		DTAlpha:           cfg.DTAlpha,
+	}
+	if cfg.SharedBufferBytes > 0 {
+		opts.Link.BufferBytes = 0
+	}
+	if len(cfg.Weights) > 0 {
+		weights := cfg.Weights
+		opts.NumQueues = len(weights)
+		opts.NewSched = func() queue.Scheduler { return queue.NewDWRR(weights) }
+	}
+
+	var net *topology.Net
+	switch cfg.Topo {
+	case TopoStar:
+		if cfg.Hosts < 2 {
+			panic("experiments: star needs Hosts >= 2")
+		}
+		net = topology.Star(eng, cfg.Hosts, opts)
+	case TopoLeafSpine:
+		net = topology.LeafSpine(eng, cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf, opts)
+	default:
+		panic(fmt.Sprintf("experiments: unknown topology %d", cfg.Topo))
+	}
+
+	var assigner *rttvar.Assigner
+	if cfg.RTT != nil {
+		assigner = rttvar.NewAssigner(*cfg.RTT, pathRTT(&cfg), rng)
+	}
+
+	specs := cfg.Flows
+	if cfg.FlowGen != nil {
+		specs = cfg.FlowGen(rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)))
+	}
+
+	collector := metrics.NewFCTCollector()
+	var flows []*transport.Flow
+	completed := 0
+	for i, spec := range specs {
+		spec := spec
+		id := uint64(i + 1)
+		src := net.Host(spec.Src)
+		dst := net.Host(spec.Dst)
+		if assigner != nil {
+			_, extra := assigner.Next()
+			src.SetFlowDelay(id, extra)
+		}
+		tcfg := cfg.Transport
+		if cfg.ClassOf != nil {
+			tcfg.Class = cfg.ClassOf(i, spec)
+		}
+		fl := transport.StartFlow(eng, tcfg, src, dst, id, spec.Size, spec.Start,
+			func(f *transport.Flow) {
+				completed++
+				collector.Record(f.Size, f.FCT, spec.Query)
+			})
+		flows = append(flows, fl)
+	}
+
+	var sampler *metrics.QueueSampler
+	if cfg.SampleInterval > 0 {
+		eg := net.EgressTo(cfg.SampleQueueOf).Egress
+		sampler = metrics.NewQueueSampler(eng, eg, cfg.SampleStart, cfg.SampleEnd, cfg.SampleInterval)
+	}
+
+	if cfg.Deadline > 0 {
+		eng.RunUntil(cfg.Deadline)
+	} else {
+		eng.Run()
+	}
+
+	res := RunResult{
+		Stats:     collector.Stats(),
+		Collector: collector,
+		Drops:     net.TotalDrops(),
+		Marks:     net.TotalMarks(),
+		Completed: completed,
+		Injected:  len(specs),
+		Net:       net,
+	}
+	for _, fl := range flows {
+		res.Timeouts += fl.Sender.Stats.Timeouts
+		res.Retransmits += fl.Sender.Stats.Retransmits
+	}
+	if sampler != nil {
+		res.QueueSamples = sampler.Samples
+		res.AvgQueuePkts = sampler.AvgPackets()
+		res.MaxQueuePkts = sampler.MaxPackets()
+	}
+	return res
+}
+
+// AverageSeeds runs the config across seeds and averages the headline FCT
+// statistics; the paper reports three-run averages (§5.1).
+func AverageSeeds(cfg RunConfig, seeds []int64) RunResult {
+	if len(seeds) == 0 {
+		panic("experiments: no seeds")
+	}
+	var agg RunResult
+	var stats []metrics.FCTStats
+	for i, s := range seeds {
+		c := cfg
+		c.Seed = s
+		r := Run(c)
+		stats = append(stats, r.Stats)
+		agg.Drops += r.Drops
+		agg.Marks += r.Marks
+		agg.Timeouts += r.Timeouts
+		agg.Retransmits += r.Retransmits
+		agg.Completed += r.Completed
+		agg.Injected += r.Injected
+		if i == 0 {
+			agg.Collector = r.Collector
+			agg.QueueSamples = r.QueueSamples
+			agg.AvgQueuePkts = r.AvgQueuePkts
+			agg.MaxQueuePkts = r.MaxQueuePkts
+		}
+	}
+	n := float64(len(stats))
+	for _, s := range stats {
+		agg.Stats.OverallAvg += s.OverallAvg / n
+		agg.Stats.ShortAvg += s.ShortAvg / n
+		agg.Stats.ShortP99 += s.ShortP99 / n
+		agg.Stats.LargeAvg += s.LargeAvg / n
+		agg.Stats.QueryAvg += s.QueryAvg / n
+		agg.Stats.QueryP99 += s.QueryP99 / n
+		agg.Stats.OverallCount += s.OverallCount
+		agg.Stats.ShortCount += s.ShortCount
+		agg.Stats.LargeCount += s.LargeCount
+		agg.Stats.QueryCount += s.QueryCount
+	}
+	return agg
+}

@@ -1,0 +1,138 @@
+// Package experiments reproduces the paper's evaluation: one runner per
+// table/figure, built on the simulator substrate. Each experiment returns
+// structured results plus a formatted text table whose rows mirror what
+// the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/rttvar"
+	"ecnsharp/internal/sim"
+)
+
+// SchemeKind enumerates the AQM schemes compared in §5.
+type SchemeKind int
+
+// Schemes under comparison.
+const (
+	// SchemeREDTail is DCTCP-RED with the threshold derived from a
+	// high-percentile (90th) RTT — the "current practice" baseline.
+	SchemeREDTail SchemeKind = iota
+	// SchemeREDAvg is DCTCP-RED with the threshold from the average RTT.
+	SchemeREDAvg
+	// SchemeREDFixed is DCTCP-RED with an explicit threshold (Figure 2's
+	// sweep).
+	SchemeREDFixed
+	// SchemeCoDel marks only on persistent congestion.
+	SchemeCoDel
+	// SchemeTCN marks on instantaneous sojourn time.
+	SchemeTCN
+	// SchemeECNSharp is the paper's contribution.
+	SchemeECNSharp
+)
+
+// Scheme is a fully parameterized AQM configuration for one run.
+type Scheme struct {
+	Kind SchemeKind
+	// Label names the scheme in result tables.
+	Label string
+
+	// KBytes is the queue-length threshold for RED variants.
+	KBytes int64
+	// Target/Interval parameterize CoDel.
+	Target, Interval sim.Time
+	// TCNThreshold parameterizes TCN.
+	TCNThreshold sim.Time
+	// Params parameterize ECN♯.
+	Params core.Params
+}
+
+// Factory returns the per-queue AQM constructor for a run. rng is accepted
+// for schemes needing randomness (none of the paper's; kept for RED/PIE
+// extensions).
+func (s Scheme) Factory(_ *rand.Rand) func(q int) aqm.AQM {
+	switch s.Kind {
+	case SchemeREDTail, SchemeREDAvg, SchemeREDFixed:
+		k := s.KBytes
+		return func(int) aqm.AQM { return aqm.NewREDInstantBytes(k) }
+	case SchemeCoDel:
+		target, interval := s.Target, s.Interval
+		return func(int) aqm.AQM { return aqm.NewCoDel(target, interval) }
+	case SchemeTCN:
+		th := s.TCNThreshold
+		return func(int) aqm.AQM { return aqm.NewTCN(th) }
+	case SchemeECNSharp:
+		p := s.Params
+		return func(int) aqm.AQM { return aqm.MustNewECNSharp(p) }
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme kind %d", s.Kind))
+	}
+}
+
+// TestbedSchemes returns the four §5.2 testbed configurations with the
+// paper's literal parameters: DCTCP-RED-Tail 250 KB, DCTCP-RED-AVG 80 KB,
+// CoDel interval 200 µs / target 85 µs, ECN♯ ins_target 200 µs /
+// pst_interval 200 µs / pst_target 85 µs.
+func TestbedSchemes() []Scheme {
+	return []Scheme{
+		REDTail(250_000),
+		REDAvg(80_000),
+		CoDelScheme(85*sim.Microsecond, 200*sim.Microsecond),
+		ECNSharpScheme(core.Params{
+			InsTarget:   200 * sim.Microsecond,
+			PstTarget:   85 * sim.Microsecond,
+			PstInterval: 200 * sim.Microsecond,
+		}),
+	}
+}
+
+// REDTail builds the current-practice baseline with threshold k bytes.
+func REDTail(k int64) Scheme {
+	return Scheme{Kind: SchemeREDTail, Label: "DCTCP-RED-Tail", KBytes: k}
+}
+
+// REDAvg builds the average-RTT DCTCP-RED variant with threshold k bytes.
+func REDAvg(k int64) Scheme {
+	return Scheme{Kind: SchemeREDAvg, Label: "DCTCP-RED-AVG", KBytes: k}
+}
+
+// REDFixed builds a DCTCP-RED with an arbitrary threshold (Figure 2).
+func REDFixed(k int64) Scheme {
+	return Scheme{Kind: SchemeREDFixed, Label: fmt.Sprintf("DCTCP-RED(%dKB)", k/1000), KBytes: k}
+}
+
+// CoDelScheme builds the CoDel baseline.
+func CoDelScheme(target, interval sim.Time) Scheme {
+	return Scheme{Kind: SchemeCoDel, Label: "CoDel", Target: target, Interval: interval}
+}
+
+// TCNScheme builds the TCN baseline.
+func TCNScheme(threshold sim.Time) Scheme {
+	return Scheme{Kind: SchemeTCN, Label: "TCN", TCNThreshold: threshold}
+}
+
+// ECNSharpScheme builds the paper's scheme.
+func ECNSharpScheme(p core.Params) Scheme {
+	return Scheme{Kind: SchemeECNSharp, Label: "ECN#", Params: p}
+}
+
+// DeriveSchemes computes Tail/AVG/ECN♯ configurations from an RTT
+// distribution the way §3.4 prescribes: instantaneous thresholds from the
+// 90th-percentile RTT via Equation 1/2, pst_interval ≈ the high-percentile
+// RTT, pst_target ≥ λ × average RTT.
+func DeriveSchemes(d rttvar.RTTDistribution, capacityBps float64) (tail, avg, sharp Scheme) {
+	p90 := d.Percentile(90)
+	mean := d.Mean()
+	tail = REDTail(core.ThresholdBytes(core.LambdaECNTCP, capacityBps, p90))
+	avg = REDAvg(core.ThresholdBytes(core.LambdaECNTCP, capacityBps, mean))
+	sharp = ECNSharpScheme(core.Params{
+		InsTarget:   core.ThresholdTime(core.LambdaECNTCP, p90),
+		PstTarget:   core.ThresholdTime(0.6, mean),
+		PstInterval: core.ThresholdTime(core.LambdaECNTCP, p90),
+	})
+	return tail, avg, sharp
+}

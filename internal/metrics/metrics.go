@@ -1,0 +1,208 @@
+// Package metrics collects the measurements the paper reports: flow
+// completion times broken down by flow size (the primary metric, §5.1),
+// queue-occupancy time series for the microscopic views (Figure 10), and
+// per-flow goodput series for the scheduler experiment (Figure 13a).
+package metrics
+
+import (
+	"ecnsharp/internal/dist"
+	"ecnsharp/internal/queue"
+	"ecnsharp/internal/sim"
+)
+
+// Flow size class boundaries used throughout the evaluation (§5.1).
+const (
+	ShortFlowMax = 100 * 1000       // short flows: (0, 100KB]
+	LargeFlowMin = 10 * 1000 * 1000 // large flows: [10MB, ∞)
+)
+
+// FCTRecord is one completed flow.
+type FCTRecord struct {
+	Size  int64
+	FCT   sim.Time
+	Query bool
+}
+
+// FCTCollector accumulates flow completion times.
+type FCTCollector struct {
+	records []FCTRecord
+}
+
+// NewFCTCollector returns an empty collector.
+func NewFCTCollector() *FCTCollector { return &FCTCollector{} }
+
+// Record adds one completed flow.
+func (c *FCTCollector) Record(size int64, fct sim.Time, query bool) {
+	c.records = append(c.records, FCTRecord{Size: size, FCT: fct, Query: query})
+}
+
+// Count returns the number of recorded flows.
+func (c *FCTCollector) Count() int { return len(c.records) }
+
+// Records returns the raw records (not a copy; treat as read-only).
+func (c *FCTCollector) Records() []FCTRecord { return c.records }
+
+// filter returns FCTs in microseconds for flows matching pred.
+func (c *FCTCollector) filter(pred func(FCTRecord) bool) []float64 {
+	var out []float64
+	for _, r := range c.records {
+		if pred(r) {
+			out = append(out, r.FCT.Micros())
+		}
+	}
+	return out
+}
+
+// FCTStats is the per-class breakdown the paper's figures plot.
+// All values are microseconds.
+type FCTStats struct {
+	OverallAvg float64
+	ShortAvg   float64
+	ShortP99   float64
+	LargeAvg   float64
+	QueryAvg   float64
+	QueryP99   float64
+
+	OverallCount int
+	ShortCount   int
+	LargeCount   int
+	QueryCount   int
+}
+
+// Stats computes the breakdown. Query flows are excluded from the
+// size-class statistics (they are reported separately in Figure 11).
+func (c *FCTCollector) Stats() FCTStats {
+	background := func(r FCTRecord) bool { return !r.Query }
+	short := func(r FCTRecord) bool { return !r.Query && r.Size <= ShortFlowMax }
+	large := func(r FCTRecord) bool { return !r.Query && r.Size >= LargeFlowMin }
+	query := func(r FCTRecord) bool { return r.Query }
+
+	all := c.filter(background)
+	sh := c.filter(short)
+	lg := c.filter(large)
+	qr := c.filter(query)
+
+	return FCTStats{
+		OverallAvg:   dist.Mean(all),
+		ShortAvg:     dist.Mean(sh),
+		ShortP99:     dist.Percentile(sh, 99),
+		LargeAvg:     dist.Mean(lg),
+		QueryAvg:     dist.Mean(qr),
+		QueryP99:     dist.Percentile(qr, 99),
+		OverallCount: len(all),
+		ShortCount:   len(sh),
+		LargeCount:   len(lg),
+		QueryCount:   len(qr),
+	}
+}
+
+// ShortFCTsMicros returns the short-flow FCT samples in µs (for CDFs,
+// Figure 13b).
+func (c *FCTCollector) ShortFCTsMicros() []float64 {
+	return c.filter(func(r FCTRecord) bool { return !r.Query && r.Size <= ShortFlowMax })
+}
+
+// QueueSample is one point of a queue-occupancy trace.
+type QueueSample struct {
+	At      sim.Time
+	Packets int
+	Bytes   int64
+}
+
+// QueueSampler periodically records the occupancy of an egress buffer.
+type QueueSampler struct {
+	eng     *sim.Engine
+	eg      *queue.Egress
+	Samples []QueueSample
+}
+
+// NewQueueSampler samples eg every interval during [start, end].
+func NewQueueSampler(eng *sim.Engine, eg *queue.Egress, start, end, interval sim.Time) *QueueSampler {
+	if interval <= 0 {
+		panic("metrics: sampler interval must be positive")
+	}
+	s := &QueueSampler{eng: eng, eg: eg}
+	var tick func()
+	tick = func() {
+		s.Samples = append(s.Samples, QueueSample{At: eng.Now(), Packets: eg.Len(), Bytes: eg.Bytes()})
+		if eng.Now()+interval <= end {
+			eng.After(interval, tick)
+		}
+	}
+	eng.Schedule(start, tick)
+	return s
+}
+
+// AvgPackets returns the mean sampled occupancy in packets.
+func (s *QueueSampler) AvgPackets() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	total := 0
+	for _, smp := range s.Samples {
+		total += smp.Packets
+	}
+	return float64(total) / float64(len(s.Samples))
+}
+
+// MaxPackets returns the peak sampled occupancy in packets.
+func (s *QueueSampler) MaxPackets() int {
+	peak := 0
+	for _, smp := range s.Samples {
+		if smp.Packets > peak {
+			peak = smp.Packets
+		}
+	}
+	return peak
+}
+
+// GoodputPoint is one goodput measurement of one flow.
+type GoodputPoint struct {
+	At   sim.Time
+	Gbps float64
+}
+
+// GoodputMeter samples a monotone delivered-bytes counter and reports the
+// per-interval goodput series (Figure 13a).
+type GoodputMeter struct {
+	eng    *sim.Engine
+	read   func() int64
+	last   int64
+	Series []GoodputPoint
+}
+
+// NewGoodputMeter samples read() every interval during [start, end]; read
+// must return cumulative delivered bytes (e.g. Receiver.BytesInOrder).
+func NewGoodputMeter(eng *sim.Engine, read func() int64, start, end, interval sim.Time) *GoodputMeter {
+	if interval <= 0 {
+		panic("metrics: meter interval must be positive")
+	}
+	m := &GoodputMeter{eng: eng, read: read}
+	var tick func()
+	tick = func() {
+		cur := m.read()
+		gbps := float64(cur-m.last) * 8 / interval.Seconds() / 1e9
+		m.last = cur
+		m.Series = append(m.Series, GoodputPoint{At: eng.Now(), Gbps: gbps})
+		if eng.Now()+interval <= end {
+			eng.After(interval, tick)
+		}
+	}
+	eng.Schedule(start, func() {
+		m.last = m.read()
+		eng.After(interval, tick)
+	})
+	return m
+}
+
+// AvgGbps returns the mean goodput over the sampled window.
+func (m *GoodputMeter) AvgGbps() float64 {
+	if len(m.Series) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range m.Series {
+		total += p.Gbps
+	}
+	return total / float64(len(m.Series))
+}

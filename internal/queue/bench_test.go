@@ -1,0 +1,65 @@
+package queue
+
+import (
+	"testing"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+func benchPacket() *packet.Packet {
+	return &packet.Packet{Kind: packet.Data, PayloadLen: packet.MSS, ECN: packet.ECT}
+}
+
+// BenchmarkFIFOPushPop measures the raw buffer cost per packet.
+func BenchmarkFIFOPushPop(b *testing.B) {
+	f := NewFIFO()
+	p := benchPacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Push(p)
+		if f.Len() > 512 {
+			for f.Len() > 64 {
+				f.Pop()
+			}
+		}
+	}
+}
+
+// BenchmarkEgressFIFO measures the full egress path with a sojourn AQM.
+func BenchmarkEgressFIFO(b *testing.B) {
+	eg := NewEgress(1, nil, 0, func(int) aqm.AQM {
+		return aqm.NewREDInstantSojourn(100 * sim.Microsecond)
+	})
+	b.ReportAllocs()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += 1200
+		eg.Enqueue(now, benchPacket())
+		if eg.Len() > 256 {
+			for eg.Len() > 32 {
+				eg.Dequeue(now)
+			}
+		}
+	}
+}
+
+// BenchmarkEgressDWRR measures the scheduler arbitration cost with three
+// weighted queues.
+func BenchmarkEgressDWRR(b *testing.B) {
+	eg := NewEgress(3, NewDWRR([]int{2, 1, 1}), 0, nil)
+	b.ReportAllocs()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += 1200
+		p := benchPacket()
+		p.Class = i % 3
+		eg.Enqueue(now, p)
+		if eg.Len() > 256 {
+			for eg.Len() > 32 {
+				eg.Dequeue(now)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package queue
+
+import (
+	"fmt"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// Egress is one output port's buffering: a set of service queues sharing a
+// byte buffer, a packet scheduler arbitrating between them, and one AQM
+// instance per queue deciding ECN marks.
+//
+// Packets whose class exceeds the queue count land in the last queue.
+// Buffer exhaustion causes tail drop (Enqueue returns false), which is how
+// the incast experiments lose packets under CoDel. CE is only ever set on
+// ECN-capable (ECT) packets; a mark decision on a NotECT packet is counted
+// but not applied, mirroring switches configured for marking, not dropping.
+type Egress struct {
+	queues []*FIFO
+	aqms   []aqm.AQM
+	sched  Scheduler
+
+	// BufferBytes caps total queued bytes across all service queues;
+	// zero or negative means unbounded. Ignored when Pool is set.
+	BufferBytes int64
+
+	// Pool, when non-nil, switches admission to a shared buffer with
+	// dynamic thresholds: this port's total backlog plays the role of the
+	// DT "queue length".
+	Pool *SharedPool
+
+	bytes int64
+
+	// Counters.
+	Enqueued  int64
+	Dequeued  int64
+	Drops     int64
+	DropBytes int64
+	EnqMarks  int64
+	DeqMarks  int64
+}
+
+// NewEgress builds an egress port with n service queues. aqmFor is called
+// once per queue index to build its AQM (pass nil for no marking).
+func NewEgress(n int, sched Scheduler, bufferBytes int64, aqmFor func(i int) aqm.AQM) *Egress {
+	if n <= 0 {
+		panic("queue: egress needs at least one queue")
+	}
+	if sched == nil {
+		sched = FIFOSched{}
+	}
+	e := &Egress{
+		queues:      make([]*FIFO, n),
+		aqms:        make([]aqm.AQM, n),
+		sched:       sched,
+		BufferBytes: bufferBytes,
+	}
+	for i := range e.queues {
+		e.queues[i] = NewFIFO()
+		if aqmFor != nil {
+			e.aqms[i] = aqmFor(i)
+		}
+		if e.aqms[i] == nil {
+			e.aqms[i] = aqm.Nop{}
+		}
+	}
+	return e
+}
+
+// NumQueues implements View.
+func (e *Egress) NumQueues() int { return len(e.queues) }
+
+// QueueEmpty implements View.
+func (e *Egress) QueueEmpty(i int) bool { return e.queues[i].Empty() }
+
+// HeadSize implements View.
+func (e *Egress) HeadSize(i int) int {
+	p := e.queues[i].Peek()
+	if p == nil {
+		return 0
+	}
+	return p.Size()
+}
+
+// Bytes returns the total queued bytes across all service queues.
+func (e *Egress) Bytes() int64 { return e.bytes }
+
+// Len returns the total queued packets across all service queues.
+func (e *Egress) Len() int {
+	n := 0
+	for _, q := range e.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// QueueBytes returns the queued bytes of service queue i.
+func (e *Egress) QueueBytes(i int) int64 { return e.queues[i].Bytes() }
+
+// QueueLen returns the queued packets of service queue i.
+func (e *Egress) QueueLen(i int) int { return e.queues[i].Len() }
+
+// AQM returns the AQM attached to service queue i.
+func (e *Egress) AQM(i int) aqm.AQM { return e.aqms[i] }
+
+// Empty reports whether all service queues are empty.
+func (e *Egress) Empty() bool { return e.bytes == 0 && e.Len() == 0 }
+
+// classQueue maps a packet class to a queue index.
+func (e *Egress) classQueue(p *packet.Packet) int {
+	c := p.Class
+	if c < 0 {
+		c = 0
+	}
+	if c >= len(e.queues) {
+		c = len(e.queues) - 1
+	}
+	return c
+}
+
+// Enqueue admits p at time now, applying enqueue-side AQM marking. It
+// returns false if the packet was tail-dropped on buffer exhaustion.
+func (e *Egress) Enqueue(now sim.Time, p *packet.Packet) bool {
+	if e.Pool != nil {
+		if !e.Pool.admit(e.bytes, p.Size()) {
+			e.Drops++
+			e.DropBytes += int64(p.Size())
+			return false
+		}
+	} else if e.BufferBytes > 0 && e.bytes+int64(p.Size()) > e.BufferBytes {
+		e.Drops++
+		e.DropBytes += int64(p.Size())
+		return false
+	}
+	qi := e.classQueue(p)
+	q := e.queues[qi]
+	backlog := aqm.Backlog{Bytes: q.Bytes(), Packets: q.Len()}
+	if e.aqms[qi].OnEnqueue(now, p, backlog) && p.ECN == packet.ECT {
+		p.ECN = packet.CE
+		e.EnqMarks++
+	}
+	p.EnqueuedAt = now
+	q.Push(p)
+	e.bytes += int64(p.Size())
+	e.Enqueued++
+	return true
+}
+
+// Dequeue removes the next packet per the scheduler, applying dequeue-side
+// AQM marking based on its sojourn time. It returns nil when empty.
+func (e *Egress) Dequeue(now sim.Time) *packet.Packet {
+	qi := e.sched.Next(e)
+	if qi < 0 {
+		return nil
+	}
+	q := e.queues[qi]
+	p := q.Pop()
+	if p == nil {
+		panic(fmt.Sprintf("queue: scheduler picked empty queue %d", qi))
+	}
+	e.bytes -= int64(p.Size())
+	if e.Pool != nil {
+		e.Pool.release(p.Size())
+	}
+	e.Dequeued++
+	e.sched.Consumed(qi, p.Size(), q.Empty())
+	sojourn := p.SojournTime(now)
+	if sojourn < 0 {
+		panic("queue: negative sojourn time")
+	}
+	if e.aqms[qi].OnDequeue(now, p, sojourn) && p.ECN == packet.ECT {
+		p.ECN = packet.CE
+		e.DeqMarks++
+	}
+	return p
+}

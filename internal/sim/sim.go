@@ -1,0 +1,219 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate for every experiment in this repository: it
+// owns the virtual clock and a priority queue of timestamped events. All
+// network elements (links, switches, transports) schedule callbacks on a
+// single *Engine; running the engine to completion executes the simulation.
+//
+// Determinism: events with equal timestamps fire in scheduling order (a
+// monotonic sequence number breaks ties), and all randomness must flow
+// through explicitly seeded sources, so a simulation is a pure function of
+// its configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in simulation time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// FromDuration converts a time.Duration to a simulation Time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Micros constructs a Time from a microsecond count.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Millis constructs a Time from a millisecond count.
+func Millis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Seconds constructs a Time from a second count.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	canceled bool
+	fn       func()
+}
+
+// Time reports when the event fires.
+func (e *Event) Time() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// An Engine must not be shared between goroutines; run independent
+// simulations on independent engines to parallelize experiments.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// Processed counts events executed; useful for progress reporting and
+	// runaway detection in tests.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending (non-canceled) events, including
+// canceled events not yet drained.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before the
+// current clock) panics: it always indicates a modelling bug.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks ev so that it will not fire. Canceling a nil or already-fired
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil // release references early
+}
+
+// Step executes the next event. It reports false when no events remain or
+// the engine was stopped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.Processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (if it advanced past fewer events). Events after the deadline
+// remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// peek returns the next non-canceled event without executing it.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

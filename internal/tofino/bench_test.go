@@ -1,0 +1,43 @@
+package tofino
+
+import (
+	"testing"
+
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/sim"
+)
+
+// BenchmarkProcessPacket measures the per-packet cost of the full
+// match-action pipeline model (seven tables, seven register accesses).
+func BenchmarkProcessPacket(b *testing.B) {
+	p4, err := NewECNSharpP4(128, core.Params{
+		InsTarget:   200 * sim.Microsecond,
+		PstTarget:   85 * sim.Microsecond,
+		PstInterval: 200 * sim.Microsecond,
+	}, WrapLT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	ns := uint64(1 << 22)
+	for i := 0; i < b.N; i++ {
+		ns += 1200
+		if _, err := p4.ProcessPacket(i%128, ns, sim.Time((i%300))*sim.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeEmulator isolates Algorithm 2's cost.
+func BenchmarkTimeEmulator(b *testing.B) {
+	emu := NewTimeEmulator(1, WrapLT)
+	b.ReportAllocs()
+	ns := uint64(0)
+	for i := 0; i < b.N; i++ {
+		ns += 1200
+		ctx := NewPacketContext()
+		if _, err := emu.CurrentTime(ctx, 0, ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

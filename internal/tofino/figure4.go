@@ -1,0 +1,53 @@
+package tofino
+
+import "fmt"
+
+// Figure 4 of the paper contrasts two ways of compiling Algorithm 1's
+// control flow to Tofino. The direct interpretation (Figure 4a/4b) reads
+// a register in one table and conditionally writes it in another — two
+// accesses to the same array in one packet pass, which the hardware
+// rejects at compile time. The shipped implementation (Figure 4c,
+// ECNSharpP4) precomputes branch conditions into metadata so each
+// register is touched by exactly one action.
+//
+// NaiveIsPersistentQueueBuildup reproduces the rejected structure at
+// runtime: it is IsPersistentQueueBuildups written the obvious way, and
+// it returns the model's double-access error on exactly the branches
+// where the pseudocode needs a second touch.
+
+// NaiveIsPersistentQueueBuildup evaluates Algorithm 1's detection the way
+// Figure 4b structures it: first a table reads first_above_time, then a
+// branch decides whether another table must update it. The second access
+// fails, demonstrating why the match-action decomposition of Figure 4c
+// (and ECNSharpP4) exists.
+func NaiveIsPersistentQueueBuildup(ctx *PacketContext, firstAbove *Reg32, port int,
+	nowUS, sojournUS, pstTargetUS, pstIntervalUS uint32) (bool, error) {
+	// Table read_first_above_time: fetch the register.
+	fat, err := firstAbove.Access(ctx, port, func(cur uint32) (uint32, uint32) {
+		return cur, cur
+	})
+	if err != nil {
+		return false, fmt.Errorf("tofino: naive control flow: %w", err)
+	}
+
+	// Control-flow branches now want to write the same register:
+	if sojournUS < pstTargetUS {
+		// Table reset_first_above_time — second access, rejected.
+		if _, err := firstAbove.Access(ctx, port, func(uint32) (uint32, uint32) {
+			return 0, 0
+		}); err != nil {
+			return false, fmt.Errorf("tofino: naive control flow: %w", err)
+		}
+		return false, nil
+	}
+	if fat == 0 {
+		// Table add_now_to_first_above_time — second access, rejected.
+		if _, err := firstAbove.Access(ctx, port, func(uint32) (uint32, uint32) {
+			return nowUS, 0
+		}); err != nil {
+			return false, fmt.Errorf("tofino: naive control flow: %w", err)
+		}
+		return false, nil
+	}
+	return nowUS > fat+pstIntervalUS, nil
+}

@@ -1,0 +1,251 @@
+// Package topology wires hosts, switches and links into the networks the
+// paper evaluates on: the star used for the 8-server testbed and incast
+// experiments, a dumbbell, and the 128-host leaf-spine fabric of §5.3.
+package topology
+
+import (
+	"fmt"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/device"
+	"ecnsharp/internal/queue"
+	"ecnsharp/internal/sim"
+)
+
+// LinkParams describes one direction of a link.
+type LinkParams struct {
+	RateBps     float64  // link capacity, bits/second
+	PropDelay   sim.Time // one-way propagation delay
+	BufferBytes int64    // egress buffer bound (switch side); 0 = unbounded
+}
+
+// TenGbps is the link rate used throughout the paper's evaluation.
+const TenGbps = 10e9
+
+// Options configures topology construction.
+type Options struct {
+	// Link parameterizes every link (the paper's networks are uniform).
+	Link LinkParams
+	// NumQueues is the number of service queues per switch egress port.
+	NumQueues int
+	// NewSched builds the per-port packet scheduler; nil means FIFO.
+	NewSched func() queue.Scheduler
+	// NewAQM builds the AQM for switch egress queue q of some port; nil
+	// means no marking. It is called once per (port, queue).
+	NewAQM func(q int) aqm.AQM
+	// HostBufferBytes bounds the host NIC queue; 0 = unbounded (hosts do
+	// not mark or drop in the paper's setups).
+	HostBufferBytes int64
+	// SharedBufferBytes, when positive, replaces the per-port static
+	// buffer with one dynamically-thresholded pool per switch (how real
+	// switch ASICs buffer); DTAlpha is the threshold factor (default 1).
+	SharedBufferBytes int64
+	DTAlpha           float64
+}
+
+func (o *Options) defaults() {
+	if o.NumQueues <= 0 {
+		o.NumQueues = 1
+	}
+}
+
+// Net is a constructed network.
+type Net struct {
+	Engine   *sim.Engine
+	Hosts    []*device.Host
+	Switches []*device.Switch
+
+	// SwitchPorts lists every switch egress port (for drop/mark census).
+	SwitchPorts []*device.Port
+
+	// hostPorts[h] is the switch egress port that delivers to host h
+	// (the port whose queue is the bottleneck in star experiments).
+	hostPorts map[int]*device.Port
+}
+
+// TotalDrops sums tail drops across all switch egress ports.
+func (n *Net) TotalDrops() int64 {
+	var d int64
+	for _, p := range n.SwitchPorts {
+		d += p.Egress.Drops
+	}
+	return d
+}
+
+// TotalMarks sums CE marks applied across all switch egress ports.
+func (n *Net) TotalMarks() int64 {
+	var m int64
+	for _, p := range n.SwitchPorts {
+		m += p.Egress.EnqMarks + p.Egress.DeqMarks
+	}
+	return m
+}
+
+// Host returns host id (panics if out of range).
+func (n *Net) Host(id int) *device.Host { return n.Hosts[id] }
+
+// EgressTo returns the last-hop switch egress port feeding host id; its
+// queue is what the paper samples in the microscopic views (Figure 10).
+func (n *Net) EgressTo(host int) *device.Port {
+	p, ok := n.hostPorts[host]
+	if !ok {
+		panic(fmt.Sprintf("topology: no egress port recorded for host %d", host))
+	}
+	return p
+}
+
+// newPool builds a switch's shared buffer pool if configured.
+func newPool(o *Options) *queue.SharedPool {
+	if o.SharedBufferBytes <= 0 {
+		return nil
+	}
+	alpha := o.DTAlpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	return queue.NewSharedPool(o.SharedBufferBytes, alpha)
+}
+
+// newEgress builds a switch egress buffer per the options; pool may be
+// nil for static per-port buffering.
+func newEgress(o *Options, pool *queue.SharedPool) *queue.Egress {
+	var sched queue.Scheduler
+	if o.NewSched != nil {
+		sched = o.NewSched()
+	}
+	var factory func(int) aqm.AQM
+	if o.NewAQM != nil {
+		factory = o.NewAQM
+	}
+	eg := queue.NewEgress(o.NumQueues, sched, o.Link.BufferBytes, factory)
+	eg.Pool = pool
+	return eg
+}
+
+// newHostEgress builds a host NIC queue: single FIFO, no marking.
+func newHostEgress(o *Options) *queue.Egress {
+	return queue.NewEgress(1, queue.FIFOSched{}, o.HostBufferBytes, nil)
+}
+
+// Star builds n hosts attached to one switch. Any host can talk to any
+// other; the testbed experiments use hosts 0..n-2 as senders and n-1 as
+// the receiver, making the switch egress toward host n-1 the bottleneck.
+func Star(eng *sim.Engine, n int, opts Options) *Net {
+	if n < 2 {
+		panic("topology: star needs at least two hosts")
+	}
+	opts.defaults()
+	sw := device.NewSwitch(eng, "sw0")
+	pool := newPool(&opts)
+	net := &Net{Engine: eng, Switches: []*device.Switch{sw}, hostPorts: make(map[int]*device.Port)}
+	for i := 0; i < n; i++ {
+		h := device.NewHost(eng, i)
+		h.NIC = device.NewPort(eng, newHostEgress(&opts), opts.Link.RateBps, opts.Link.PropDelay, sw)
+		down := device.NewPort(eng, newEgress(&opts, pool), opts.Link.RateBps, opts.Link.PropDelay, h)
+		sw.AddRoute(i, down)
+		net.hostPorts[i] = down
+		net.SwitchPorts = append(net.SwitchPorts, down)
+		net.Hosts = append(net.Hosts, h)
+	}
+	return net
+}
+
+// Dumbbell builds nPairs senders and nPairs receivers on two switches
+// joined by a single bottleneck link: senders 0..nPairs-1 attach to the
+// left switch, receivers nPairs..2nPairs-1 to the right.
+func Dumbbell(eng *sim.Engine, nPairs int, opts Options) *Net {
+	if nPairs < 1 {
+		panic("topology: dumbbell needs at least one pair")
+	}
+	opts.defaults()
+	left := device.NewSwitch(eng, "left")
+	right := device.NewSwitch(eng, "right")
+	leftPool, rightPool := newPool(&opts), newPool(&opts)
+	net := &Net{Engine: eng, Switches: []*device.Switch{left, right}, hostPorts: make(map[int]*device.Port)}
+
+	// The inter-switch bottleneck carries AQM in both directions.
+	l2r := device.NewPort(eng, newEgress(&opts, leftPool), opts.Link.RateBps, opts.Link.PropDelay, right)
+	r2l := device.NewPort(eng, newEgress(&opts, rightPool), opts.Link.RateBps, opts.Link.PropDelay, left)
+	net.SwitchPorts = append(net.SwitchPorts, l2r, r2l)
+
+	for i := 0; i < 2*nPairs; i++ {
+		h := device.NewHost(eng, i)
+		sw, pool := left, leftPool
+		if i >= nPairs {
+			sw, pool = right, rightPool
+		}
+		h.NIC = device.NewPort(eng, newHostEgress(&opts), opts.Link.RateBps, opts.Link.PropDelay, sw)
+		down := device.NewPort(eng, newEgress(&opts, pool), opts.Link.RateBps, opts.Link.PropDelay, h)
+		sw.AddRoute(i, down)
+		net.hostPorts[i] = down
+		net.SwitchPorts = append(net.SwitchPorts, down)
+		net.Hosts = append(net.Hosts, h)
+	}
+	// Cross routes traverse the bottleneck.
+	for i := 0; i < nPairs; i++ {
+		right.AddRoute(i, r2l)
+		left.AddRoute(nPairs+i, l2r)
+	}
+	return net
+}
+
+// LeafSpine builds the §5.3 fabric: spines×leaves switches with
+// hostsPerLeaf hosts per leaf, ECMP across all spines for inter-leaf
+// traffic. Host ids are leaf-major: leaf l owns hosts
+// [l·hostsPerLeaf, (l+1)·hostsPerLeaf).
+func LeafSpine(eng *sim.Engine, spines, leaves, hostsPerLeaf int, opts Options) *Net {
+	if spines < 1 || leaves < 1 || hostsPerLeaf < 1 {
+		panic("topology: leaf-spine dimensions must be positive")
+	}
+	opts.defaults()
+	net := &Net{Engine: eng, hostPorts: make(map[int]*device.Port)}
+
+	spineSw := make([]*device.Switch, spines)
+	spinePools := make([]*queue.SharedPool, spines)
+	for s := range spineSw {
+		spineSw[s] = device.NewSwitch(eng, fmt.Sprintf("spine%d", s))
+		spinePools[s] = newPool(&opts)
+		net.Switches = append(net.Switches, spineSw[s])
+	}
+	leafSw := make([]*device.Switch, leaves)
+	leafPools := make([]*queue.SharedPool, leaves)
+	for l := range leafSw {
+		leafSw[l] = device.NewSwitch(eng, fmt.Sprintf("leaf%d", l))
+		leafPools[l] = newPool(&opts)
+		net.Switches = append(net.Switches, leafSw[l])
+	}
+
+	// Hosts and access links.
+	for l := 0; l < leaves; l++ {
+		for k := 0; k < hostsPerLeaf; k++ {
+			id := l*hostsPerLeaf + k
+			h := device.NewHost(eng, id)
+			h.NIC = device.NewPort(eng, newHostEgress(&opts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
+			down := device.NewPort(eng, newEgress(&opts, leafPools[l]), opts.Link.RateBps, opts.Link.PropDelay, h)
+			leafSw[l].AddRoute(id, down)
+			net.hostPorts[id] = down
+			net.SwitchPorts = append(net.SwitchPorts, down)
+			net.Hosts = append(net.Hosts, h)
+		}
+	}
+
+	// Leaf <-> spine fabric links and routes.
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			up := device.NewPort(eng, newEgress(&opts, leafPools[l]), opts.Link.RateBps, opts.Link.PropDelay, spineSw[s])
+			down := device.NewPort(eng, newEgress(&opts, spinePools[s]), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
+			net.SwitchPorts = append(net.SwitchPorts, up, down)
+			// Leaf l reaches every non-local host through any spine (ECMP).
+			for dst := 0; dst < leaves*hostsPerLeaf; dst++ {
+				if dst/hostsPerLeaf != l {
+					leafSw[l].AddRoute(dst, up)
+				}
+			}
+			// Spine s reaches leaf l's hosts through this down port.
+			for k := 0; k < hostsPerLeaf; k++ {
+				spineSw[s].AddRoute(l*hostsPerLeaf+k, down)
+			}
+		}
+	}
+	return net
+}

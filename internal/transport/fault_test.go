@@ -1,0 +1,289 @@
+package transport_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecnsharp/internal/device"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/queue"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/transport"
+)
+
+// faultPath builds two hosts connected directly with a Tap on the data
+// direction (host0 -> host1); ACKs flow back untouched.
+func faultPath(eng *sim.Engine) (h0, h1 *device.Host, tap *device.Tap) {
+	h0 = device.NewHost(eng, 0)
+	h1 = device.NewHost(eng, 1)
+	tap = device.NewTap(eng, h1)
+	h0.NIC = device.NewPort(eng, queue.NewEgress(1, nil, 0, nil), 10e9, 2*sim.Microsecond, tap)
+	h1.NIC = device.NewPort(eng, queue.NewEgress(1, nil, 0, nil), 10e9, 2*sim.Microsecond, h0)
+	return h0, h1, tap
+}
+
+func TestSingleLossRecoversByFastRetransmit(t *testing.T) {
+	eng := sim.NewEngine()
+	h0, h1, tap := faultPath(eng)
+	tap.Drop = device.DropSeqOnce(20 * 1460) // one segment mid-flow
+
+	const size = 100 * 1460
+	fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+	eng.Run()
+
+	if !fl.Done || fl.Receiver.RcvNxt() != size {
+		t.Fatalf("flow incomplete: done=%v rcv=%d", fl.Done, fl.Receiver.RcvNxt())
+	}
+	if tap.Dropped != 1 {
+		t.Fatalf("tap dropped %d packets", tap.Dropped)
+	}
+	if fl.Sender.Stats.FastRecoveries != 1 {
+		t.Errorf("fast recoveries = %d, want 1", fl.Sender.Stats.FastRecoveries)
+	}
+	if fl.Sender.Stats.Timeouts != 0 {
+		t.Errorf("timeouts = %d; single loss should not need an RTO", fl.Sender.Stats.Timeouts)
+	}
+	if fl.Sender.Stats.Retransmits == 0 {
+		t.Error("no retransmissions recorded")
+	}
+}
+
+func TestBurstLossRecoversViaPartialAcks(t *testing.T) {
+	eng := sim.NewEngine()
+	h0, h1, tap := faultPath(eng)
+	// Three consecutive segments lost: NewReno recovers one hole per
+	// partial ACK without waiting for timeouts.
+	drops := map[int64]bool{20 * 1460: true, 21 * 1460: true, 22 * 1460: true}
+	tap.Drop = func(p *packet.Packet) bool {
+		if p.Kind == packet.Data && drops[p.Seq] {
+			delete(drops, p.Seq)
+			return true
+		}
+		return false
+	}
+
+	const size = 200 * 1460
+	fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+	eng.Run()
+
+	if !fl.Done || fl.Receiver.RcvNxt() != size {
+		t.Fatalf("flow incomplete after burst loss")
+	}
+	if fl.Sender.Stats.Timeouts != 0 {
+		t.Errorf("timeouts = %d; partial-ACK recovery should avoid RTOs",
+			fl.Sender.Stats.Timeouts)
+	}
+	if fl.Sender.Stats.Retransmits < 3 {
+		t.Errorf("retransmits = %d, want >= 3", fl.Sender.Stats.Retransmits)
+	}
+}
+
+func TestLostRetransmissionNeedsRTO(t *testing.T) {
+	eng := sim.NewEngine()
+	h0, h1, tap := faultPath(eng)
+	// Drop the same segment twice: original and its fast retransmission.
+	remaining := 2
+	tap.Drop = func(p *packet.Packet) bool {
+		if remaining > 0 && p.Kind == packet.Data && p.Seq == 30*1460 {
+			remaining--
+			return true
+		}
+		return false
+	}
+
+	const size = 120 * 1460
+	fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+	eng.Run()
+
+	if !fl.Done || fl.Receiver.RcvNxt() != size {
+		t.Fatal("flow incomplete after double loss")
+	}
+	if fl.Sender.Stats.Timeouts == 0 {
+		t.Error("no RTO despite a lost retransmission")
+	}
+}
+
+func TestAckLossIsAbsorbedByCumulativeAcks(t *testing.T) {
+	eng := sim.NewEngine()
+	h0 := device.NewHost(eng, 0)
+	h1 := device.NewHost(eng, 1)
+	// Tap on the ACK direction this time.
+	ackTap := device.NewTap(eng, h0)
+	n := int64(0)
+	ackTap.Drop = func(p *packet.Packet) bool {
+		if p.Kind != packet.Ack {
+			return false
+		}
+		n++
+		return n%5 == 0
+	}
+	h0.NIC = device.NewPort(eng, queue.NewEgress(1, nil, 0, nil), 10e9, 2*sim.Microsecond, h1)
+	h1.NIC = device.NewPort(eng, queue.NewEgress(1, nil, 0, nil), 10e9, 2*sim.Microsecond, ackTap)
+
+	const size = 150 * 1460
+	fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+	eng.Run()
+
+	if !fl.Done || fl.Receiver.RcvNxt() != size {
+		t.Fatal("flow incomplete under ACK loss")
+	}
+	if ackTap.Dropped == 0 {
+		t.Fatal("test broken: no ACKs dropped")
+	}
+	if fl.Sender.Stats.Retransmits > 2 {
+		t.Errorf("retransmits = %d; cumulative ACKs should absorb ACK loss",
+			fl.Sender.Stats.Retransmits)
+	}
+}
+
+func TestDuplicatedPacketsAreHarmless(t *testing.T) {
+	eng := sim.NewEngine()
+	h0, h1, tap := faultPath(eng)
+	k := int64(0)
+	tap.Duplicate = func(p *packet.Packet) bool {
+		if p.Kind != packet.Data {
+			return false
+		}
+		k++
+		return k%7 == 0
+	}
+
+	const size = 100 * 1460
+	fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+	eng.Run()
+
+	if !fl.Done || fl.Receiver.RcvNxt() != size {
+		t.Fatal("flow incomplete under duplication")
+	}
+	if tap.Duplicated == 0 {
+		t.Fatal("test broken: nothing duplicated")
+	}
+	if fl.Receiver.DupPackets == 0 {
+		t.Error("receiver did not classify duplicates")
+	}
+}
+
+func TestSteadyLossRateStillCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	h0, h1, tap := faultPath(eng)
+	tap.Drop = device.DropNth(50) // 2% loss
+
+	const size = 400 * 1460
+	fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+	eng.Run()
+
+	if !fl.Done || fl.Receiver.RcvNxt() != size {
+		t.Fatal("flow incomplete under steady loss")
+	}
+	if fl.Sender.Stats.Retransmits == 0 {
+		t.Error("no retransmissions under 2% loss")
+	}
+}
+
+func TestReorderingDeliversExactByteStream(t *testing.T) {
+	eng := sim.NewEngine()
+	h0, h1, tap := faultPath(eng)
+	rng := rand.New(rand.NewSource(9))
+	tap.Delay = func(p *packet.Packet) sim.Time {
+		return sim.Time(rng.Int63n(int64(20 * sim.Microsecond)))
+	}
+
+	const size = 300 * 1460
+	fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+	eng.Run()
+
+	if !fl.Done {
+		t.Fatal("flow incomplete under reordering")
+	}
+	if fl.Receiver.RcvNxt() != size {
+		t.Fatalf("delivered %d bytes, want %d", fl.Receiver.RcvNxt(), size)
+	}
+	if fl.Receiver.OutOfOrder == 0 {
+		t.Error("test broken: nothing arrived out of order")
+	}
+}
+
+func TestCwndNeverExceedsCap(t *testing.T) {
+	eng := sim.NewEngine()
+	h0, h1, _ := faultPath(eng)
+	cfg := transport.DefaultConfig()
+	cfg.MaxCwndSegments = 64
+
+	fl := transport.StartFlow(eng, cfg, h0, h1, 1, 20_000_000, 0, nil)
+	max := 0.0
+	var probe func()
+	probe = func() {
+		if c := fl.Sender.Cwnd(); c > max {
+			max = c
+		}
+		if !fl.Done {
+			eng.After(100*sim.Microsecond, probe)
+		}
+	}
+	eng.Schedule(0, probe)
+	eng.Run()
+
+	cap := float64(64 * cfg.MSS)
+	if max > cap {
+		t.Errorf("cwnd reached %.0f, cap %.0f", max, cap)
+	}
+	if !fl.Done {
+		t.Fatal("flow incomplete")
+	}
+}
+
+func TestDropTapPanicsAndHelpers(t *testing.T) {
+	eng := sim.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTap(nil) did not panic")
+		}
+	}()
+	device.NewTap(eng, nil)
+}
+
+func TestDropNthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	device.DropNth(0)
+}
+
+// TestRandomFaultsProperty: under random drops, duplicates and jitter the
+// transport must still deliver the exact byte stream for every flow — the
+// repository's end-to-end integrity invariant.
+func TestRandomFaultsProperty(t *testing.T) {
+	run := func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		h0, h1, tap := faultPath(eng)
+		dropP := rng.Float64() * 0.03
+		dupP := rng.Float64() * 0.02
+		tap.Drop = func(p *packet.Packet) bool {
+			return p.Kind == packet.Data && rng.Float64() < dropP
+		}
+		tap.Duplicate = func(p *packet.Packet) bool {
+			return p.Kind == packet.Data && rng.Float64() < dupP
+		}
+		tap.Delay = func(*packet.Packet) sim.Time {
+			return sim.Time(rng.Int63n(int64(10 * sim.Microsecond)))
+		}
+		size := int64(rng.Intn(400)+1) * 1460
+		if rng.Intn(3) == 0 {
+			size += int64(rng.Intn(1459)) + 1 // non-MSS-aligned tail
+		}
+		fl := transport.StartFlow(eng, transport.DefaultConfig(), h0, h1, 1, size, 0, nil)
+		eng.Run()
+		if !fl.Done {
+			t.Fatalf("seed %d: flow incomplete (size %d, drop %.3f)", seed, size, dropP)
+		}
+		if fl.Receiver.RcvNxt() != size {
+			t.Fatalf("seed %d: delivered %d of %d bytes", seed, fl.Receiver.RcvNxt(), size)
+		}
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		run(seed)
+	}
+}

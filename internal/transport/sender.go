@@ -1,0 +1,362 @@
+package transport
+
+import (
+	"fmt"
+
+	"ecnsharp/internal/device"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/sim"
+)
+
+// Sender is the transmitting endpoint of one flow. It implements
+// window-based reliable delivery with slow start, congestion avoidance,
+// fast retransmit on three duplicate ACKs, retransmission timeouts with
+// exponential backoff, and ECN reaction delegated to an ECNControl.
+type Sender struct {
+	eng  *sim.Engine
+	cfg  Config
+	host *device.Host
+	cc   ECNControl
+
+	flowID uint64
+	dst    int
+	size   int64
+
+	// Sequence state (byte stream [0, size)).
+	sndUna int64 // oldest unacknowledged byte
+	sndNxt int64 // next byte to send
+
+	// Congestion state, in bytes.
+	cwnd     float64
+	ssthresh float64
+
+	dupAcks    int
+	inRecovery bool
+	recover    int64 // sndNxt when recovery began
+
+	// CWR: at most one multiplicative decrease per window of data.
+	cwr    bool
+	cwrEnd int64
+
+	// DCTCP per-window accounting for the α estimator.
+	winEnd      int64
+	bytesAcked  int64
+	bytesMarked int64
+
+	// RTT estimation (RFC 6298).
+	srtt      sim.Time
+	rttvar    sim.Time
+	rto       sim.Time
+	hasSample bool
+	backoff   uint
+
+	rtoTimer *sim.Event
+
+	started   bool
+	finished  bool
+	startTime sim.Time
+
+	onDone func(fct sim.Time)
+
+	// Stats is the sender's observability surface.
+	Stats SenderStats
+}
+
+// SenderStats counts transport events for metrics and tests.
+type SenderStats struct {
+	SentPackets    int64
+	SentBytes      int64
+	Retransmits    int64
+	Timeouts       int64
+	FastRecoveries int64
+	ECECuts        int64
+	AcksReceived   int64
+}
+
+// NewSender builds (but does not start) a sender for flowID moving size
+// bytes from host to dst. onDone receives the flow completion time.
+func NewSender(eng *sim.Engine, cfg Config, host *device.Host, flowID uint64,
+	dst int, size int64, onDone func(fct sim.Time)) *Sender {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("transport: flow %d has non-positive size %d", flowID, size))
+	}
+	s := &Sender{
+		eng:    eng,
+		cfg:    cfg,
+		host:   host,
+		cc:     cfg.NewControl(),
+		flowID: flowID,
+		dst:    dst,
+		size:   size,
+		onDone: onDone,
+		rto:    cfg.InitialRTO,
+	}
+	s.cwnd = float64(cfg.InitCwndSegments * cfg.MSS)
+	s.ssthresh = float64(1 << 30) // effectively infinite until first cut
+	return s
+}
+
+// Control exposes the flow's ECN responder (for tests).
+func (s *Sender) Control() ECNControl { return s.cc }
+
+// Cwnd returns the congestion window in bytes (for tests and tracing).
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Finished reports whether all data was acknowledged.
+func (s *Sender) Finished() bool { return s.finished }
+
+// Start registers for ACKs and transmits the initial window. It must be
+// called at the flow's arrival time.
+func (s *Sender) Start() {
+	if s.started {
+		panic("transport: sender started twice")
+	}
+	s.started = true
+	s.startTime = s.eng.Now()
+	s.winEnd = 0
+	s.host.Register(s.flowID, s)
+	s.trySend()
+}
+
+// HandlePacket implements device.PacketHandler for ACKs.
+func (s *Sender) HandlePacket(now sim.Time, p *packet.Packet) {
+	if p.Kind != packet.Ack || s.finished {
+		return
+	}
+	s.Stats.AcksReceived++
+	s.onAck(now, p)
+}
+
+// minCwnd floors the window at one segment.
+func (s *Sender) minCwnd() float64 { return float64(s.cfg.MSS) }
+
+func (s *Sender) onAck(now sim.Time, p *packet.Packet) {
+	// RTT sample from the echoed timestamp.
+	if p.TSEcr > 0 {
+		s.rttSample(now - p.TSEcr)
+	}
+
+	ack := p.AckSeq
+	if ack > s.sndNxt {
+		ack = s.sndNxt // never ack beyond what was sent
+	}
+
+	newlyAcked := ack - s.sndUna
+
+	// Per-window marked-byte accounting feeds the DCTCP α estimator.
+	if newlyAcked > 0 {
+		s.bytesAcked += newlyAcked
+		if p.ECE {
+			s.bytesMarked += newlyAcked
+		}
+	}
+	if ack >= s.winEnd {
+		if s.bytesAcked > 0 {
+			s.cc.OnWindowEnd(float64(s.bytesMarked) / float64(s.bytesAcked))
+		}
+		s.bytesAcked, s.bytesMarked = 0, 0
+		s.winEnd = s.sndNxt
+	}
+
+	// ECN reaction: one multiplicative decrease per window.
+	if ack >= s.cwrEnd {
+		s.cwr = false
+	}
+	if p.ECE && !s.cwr && !s.inRecovery {
+		cut := s.cc.CutFraction()
+		s.cwnd *= 1 - cut
+		if s.cwnd < s.minCwnd() {
+			s.cwnd = s.minCwnd()
+		}
+		s.ssthresh = s.cwnd
+		s.cwr = true
+		s.cwrEnd = s.sndNxt
+		s.Stats.ECECuts++
+	}
+
+	if newlyAcked > 0 {
+		s.sndUna = ack
+		s.dupAcks = 0
+		s.backoff = 0
+		if s.inRecovery {
+			if ack >= s.recover {
+				s.inRecovery = false
+				s.cwnd = s.ssthresh
+			} else {
+				// NewReno partial ACK: the next hole starts at the new
+				// sndUna; retransmit it immediately instead of waiting for
+				// an RTO.
+				s.retransmit(s.sndUna)
+			}
+		}
+		if !s.inRecovery {
+			s.grow(newlyAcked)
+		}
+		if s.sndUna >= s.size {
+			s.finish(now)
+			return
+		}
+		s.armRTO()
+		s.trySend()
+		return
+	}
+
+	// Duplicate ACK handling (only meaningful with data outstanding).
+	if s.sndUna < s.sndNxt && p.AckSeq == s.sndUna {
+		s.dupAcks++
+		if s.dupAcks == 3 && !s.inRecovery {
+			s.fastRetransmit()
+		}
+	}
+}
+
+// grow applies slow start / congestion avoidance, capped at the maximum
+// window (the receive-window stand-in).
+func (s *Sender) grow(acked int64) {
+	mss := float64(s.cfg.MSS)
+	if s.cwnd < s.ssthresh {
+		s.cwnd += float64(acked)
+		if s.cwnd > s.ssthresh {
+			s.cwnd = s.ssthresh
+		}
+	} else {
+		s.cwnd += mss * float64(acked) / s.cwnd
+	}
+	if max := float64(s.cfg.MaxCwndSegments * s.cfg.MSS); s.cwnd > max {
+		s.cwnd = max
+	}
+}
+
+func (s *Sender) fastRetransmit() {
+	s.Stats.FastRecoveries++
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2*float64(s.cfg.MSS) {
+		s.ssthresh = 2 * float64(s.cfg.MSS)
+	}
+	s.cwnd = s.ssthresh
+	s.inRecovery = true
+	s.recover = s.sndNxt
+	s.retransmit(s.sndUna)
+	s.armRTO()
+}
+
+// trySend transmits while the window permits.
+func (s *Sender) trySend() {
+	for s.sndNxt < s.size && float64(s.sndNxt-s.sndUna) < s.cwnd {
+		s.sendSegment(s.sndNxt, false)
+		s.sndNxt += int64(s.segLen(s.sndNxt))
+	}
+	if s.sndUna < s.sndNxt && s.rtoTimer == nil {
+		s.armRTO()
+	}
+}
+
+// segLen returns the payload length of the segment starting at seq.
+func (s *Sender) segLen(seq int64) int {
+	n := s.size - seq
+	if n > int64(s.cfg.MSS) {
+		n = int64(s.cfg.MSS)
+	}
+	return int(n)
+}
+
+func (s *Sender) sendSegment(seq int64, isRetransmit bool) {
+	p := &packet.Packet{
+		FlowID:     s.flowID,
+		Src:        s.host.ID,
+		Dst:        s.dst,
+		Kind:       packet.Data,
+		Seq:        seq,
+		PayloadLen: s.segLen(seq),
+		ECN:        packet.ECT,
+		TSVal:      s.eng.Now(),
+		Class:      s.cfg.Class,
+	}
+	s.Stats.SentPackets++
+	s.Stats.SentBytes += int64(p.Size())
+	if isRetransmit {
+		s.Stats.Retransmits++
+	}
+	s.host.Send(p)
+}
+
+func (s *Sender) retransmit(seq int64) { s.sendSegment(seq, true) }
+
+// rttSample updates SRTT/RTTVAR and the RTO per RFC 6298.
+func (s *Sender) rttSample(rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	if !s.hasSample {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.hasSample = true
+	} else {
+		d := s.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+// armRTO (re)schedules the retransmission timer with current backoff.
+func (s *Sender) armRTO() {
+	s.cancelRTO()
+	d := s.rto << s.backoff
+	if d > s.cfg.MaxRTO {
+		d = s.cfg.MaxRTO
+	}
+	s.rtoTimer = s.eng.After(d, s.onRTO)
+}
+
+func (s *Sender) cancelRTO() {
+	if s.rtoTimer != nil {
+		s.eng.Cancel(s.rtoTimer)
+		s.rtoTimer = nil
+	}
+}
+
+// onRTO handles a retransmission timeout: collapse the window, go back to
+// the first unacked byte, and back off the timer.
+func (s *Sender) onRTO() {
+	s.rtoTimer = nil
+	if s.finished || s.sndUna >= s.sndNxt {
+		return
+	}
+	s.Stats.Timeouts++
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2*float64(s.cfg.MSS) {
+		s.ssthresh = 2 * float64(s.cfg.MSS)
+	}
+	s.cwnd = s.minCwnd()
+	s.sndNxt = s.sndUna
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.cwr = false
+	if s.backoff < 10 {
+		s.backoff++
+	}
+	s.trySend()
+	s.armRTO()
+}
+
+func (s *Sender) finish(now sim.Time) {
+	s.finished = true
+	s.cancelRTO()
+	s.host.Unregister(s.flowID)
+	if s.onDone != nil {
+		s.onDone(now - s.startTime)
+	}
+}

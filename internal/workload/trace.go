@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ecnsharp/internal/sim"
+)
+
+// Trace I/O: flow specs serialize to a small CSV format
+// (src,dst,size,start_ns,query) so workloads can be generated once,
+// inspected, edited, and replayed across schemes — the workflow the
+// paper's open-source traffic generator supports with its trace files.
+
+// WriteSpecs serializes specs as CSV with a header row.
+func WriteSpecs(w io.Writer, specs []FlowSpec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"src", "dst", "size", "start_ns", "query"}); err != nil {
+		return err
+	}
+	for _, s := range specs {
+		rec := []string{
+			strconv.Itoa(s.Src),
+			strconv.Itoa(s.Dst),
+			strconv.FormatInt(s.Size, 10),
+			strconv.FormatInt(int64(s.Start), 10),
+			strconv.FormatBool(s.Query),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSpecs parses a trace written by WriteSpecs.
+func ReadSpecs(r io.Reader) ([]FlowSpec, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if recs[0][0] == "src" {
+		recs = recs[1:]
+	}
+	specs := make([]FlowSpec, 0, len(recs))
+	for i, rec := range recs {
+		src, err1 := strconv.Atoi(rec[0])
+		dst, err2 := strconv.Atoi(rec[1])
+		size, err3 := strconv.ParseInt(rec[2], 10, 64)
+		start, err4 := strconv.ParseInt(rec[3], 10, 64)
+		query, err5 := strconv.ParseBool(rec[4])
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace record %d: %w", i+1, err)
+			}
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("workload: trace record %d: non-positive size %d", i+1, size)
+		}
+		if start < 0 {
+			return nil, fmt.Errorf("workload: trace record %d: negative start", i+1)
+		}
+		specs = append(specs, FlowSpec{
+			Src: src, Dst: dst, Size: size, Start: sim.Time(start), Query: query,
+		})
+	}
+	return specs, nil
+}
