@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	ecnsharp-bench [-scale quick|full|smoke] [-list] [ids...]
+//	ecnsharp-bench [-scale quick|full|smoke] [-parallel N] [-list] [ids...]
 //
 // With no ids, every experiment runs in paper order. Each experiment
 // prints the rows/series of the corresponding paper artifact; EXPERIMENTS.md
-// records how to read them against the paper's numbers.
+// records how to read them against the paper's numbers. Independent
+// (config, seed) runs execute on a worker pool; the tables are identical
+// at any -parallel setting.
 package main
 
 import (
@@ -16,14 +18,18 @@ import (
 	"time"
 
 	"ecnsharp/internal/experiments"
+	"ecnsharp/internal/harness"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, full or smoke")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = one per CPU, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit per individual run, e.g. 2m (0 = none)")
+	progress := flag.Bool("progress", false, "report each completed run on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ecnsharp-bench [-scale quick|full|smoke] [-list] [ids...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: ecnsharp-bench [-scale quick|full|smoke] [-parallel N] [-list] [ids...]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the evaluation artifacts of the ECN# paper (CoNEXT'19).\n\n")
 		flag.PrintDefaults()
 	}
@@ -47,6 +53,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ecnsharp-bench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+	sc.Parallel = *parallel
+	sc.Timeout = *timeout
+	if *progress {
+		sc.Progress = func(p harness.Progress) {
+			status := ""
+			if p.Err != nil {
+				status = " FAILED: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)%s\n",
+				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond), status)
+		}
 	}
 
 	ids := flag.Args()

@@ -10,6 +10,7 @@
 //	ecnsim -scheme ecnsharp -workload websearch -load 0.7
 //	ecnsim -scheme red-tail -workload datamining -load 0.5 -flows 500
 //	ecnsim -topo leafspine -scheme codel -load 0.4
+//	ecnsim -seeds 1,2,3 -parallel 3   # pooled statistics over three seeds
 package main
 
 import (
@@ -17,8 +18,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"ecnsharp/internal/experiments"
+	"ecnsharp/internal/harness"
 	"ecnsharp/internal/rttvar"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
@@ -32,6 +37,10 @@ func main() {
 		load       = flag.Float64("load", 0.5, "offered load in (0,1]")
 		flows      = flag.Int("flows", 400, "number of flows")
 		seed       = flag.Int64("seed", 1, "random seed")
+		seedsFlag  = flag.String("seeds", "", "comma-separated seeds to pool statistics over (overrides -seed)")
+		parallel   = flag.Int("parallel", 0, "worker pool size for per-seed runs (0 = one per CPU, 1 = serial)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit per individual run (0 = none)")
+		progress   = flag.Bool("progress", false, "report each completed run on stderr")
 		topo       = flag.String("topo", "star", "topology: star (8-host testbed) or leafspine (128 hosts)")
 		rttMinUS   = flag.Float64("rtt-min", 70, "minimum base RTT in microseconds")
 		variation  = flag.Float64("rtt-variation", 3, "RTT variation factor (RTTmax/RTTmin)")
@@ -39,6 +48,19 @@ func main() {
 		saveTrace  = flag.String("save-trace", "", "write the generated flows to this trace CSV")
 	)
 	flag.Parse()
+
+	seeds := []int64{*seed}
+	if *seedsFlag != "" {
+		seeds = seeds[:0]
+		for _, s := range strings.Split(*seedsFlag, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ecnsim: bad -seeds entry %q\n", s)
+				os.Exit(2)
+			}
+			seeds = append(seeds, v)
+		}
+	}
 
 	rtt := rttvar.NewVariation(sim.Micros(*rttMinUS), *variation)
 	tail, avg, sharp := experiments.DeriveSchemes(rtt, topology.TenGbps)
@@ -137,11 +159,21 @@ func main() {
 		cfg.Flows = specs
 	}
 
-	r := experiments.Run(cfg)
+	sc := experiments.Scale{Seeds: seeds, Parallel: *parallel, Timeout: *timeout}
+	if *progress {
+		sc.Progress = func(p harness.Progress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n",
+				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+	r := experiments.RunSeeds(sc, cfg)
 	s := r.Stats
 	fmt.Printf("scheme    %s\n", scheme.Label)
 	fmt.Printf("workload  %s @ %.0f%% load, %d flows, RTT %v-%v\n",
 		*wlName, *load*100, r.Injected, rtt.Min, rtt.Max)
+	if len(seeds) > 1 {
+		fmt.Printf("pooled    %d seeds %v\n", len(seeds), seeds)
+	}
 	fmt.Printf("completed %d/%d flows\n\n", r.Completed, r.Injected)
 	fmt.Printf("FCT overall avg      %10.1f us (%d flows)\n", s.OverallAvg, s.OverallCount)
 	fmt.Printf("FCT short (<=100KB)  %10.1f us avg, %10.1f us p99 (%d flows)\n",

@@ -49,8 +49,17 @@ func Ablation(sc Scale) *Table {
 		Columns: []string{"variant", "standing queue(pkts)", "burst peak(pkts)",
 			"drops", "timeouts", "query p99(us)"},
 	}
-	for _, v := range variants {
-		r := runIncast(v, 100, sc.FlowCount, sc.Seeds[0], true)
+	// The knockout runs are independent; batch them through the harness.
+	// The microscopic trace is a single-seed view, like Figure 10.
+	one := sc
+	one.Seeds = sc.Seeds[:1]
+	cfgs := make([]RunConfig, len(variants))
+	for i, v := range variants {
+		cfgs[i] = incastCfg(v, 100, sc.FlowCount, true)
+	}
+	results := RunAll(one, cfgs)
+	for i, v := range variants {
+		r := results[i]
 		var standing float64
 		var n int
 		for _, smp := range r.QueueSamples {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ecnsharp/internal/aqm"
 	"ecnsharp/internal/core"
+	"ecnsharp/internal/harness"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
 	"ecnsharp/internal/transport"
@@ -61,17 +63,41 @@ func DCQCNExtension(sc Scale) *Table {
 		Columns: []string{"marking", "goodput sum(Gbps)", "jain fairness",
 			"avg queue(pkts)", "drops"},
 	}
+	// The three marking variants are independent; fan them out.
+	jobs := make([]harness.Job, 0, len(variants))
 	for _, v := range variants {
-		sum, jain, avgQ, drops := runDCQCNFairness(v.mk, sc.Seeds[0])
-		t.AddRow(v.name, f2(sum), f3(jain), f1(avgQ), fmt.Sprintf("%d", drops))
+		v := v
+		jobs = append(jobs, harness.Job{
+			Label: "dcqcn " + v.name,
+			Run: func(ctx context.Context) (any, error) {
+				return runDCQCNFairness(ctx, v.mk, sc.Seeds[0])
+			},
+		})
+	}
+	res, _ := harness.Execute(context.Background(), jobs, sc.harnessOptions())
+	for i, v := range variants {
+		if res[i].Err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", res[i].Label, res[i].Err))
+		}
+		o := res[i].Value.(dcqcnResult)
+		t.AddRow(v.name, f2(o.SumGbps), f3(o.Jain), f1(o.AvgQueuePkts), fmt.Sprintf("%d", o.Drops))
 	}
 	t.AddNote("DCQCN needs probabilistic marking: cut-off marking synchronizes cuts and wrecks utilization (§3.5)")
 	return t
 }
 
+// dcqcnResult is the measured outcome of one DCQCN fairness run.
+type dcqcnResult struct {
+	SumGbps      float64
+	Jain         float64
+	AvgQueuePkts float64
+	Drops        int64
+}
+
 // runDCQCNFairness runs four long-lived DCQCN flows into one port and
 // measures steady-state goodput statistics over the second half.
-func runDCQCNFairness(mk func(*rand.Rand) func(int) aqm.AQM, seed int64) (sumGbps, jain, avgQ float64, drops int64) {
+func runDCQCNFairness(ctx context.Context, mk func(*rand.Rand) func(int) aqm.AQM, seed int64) (dcqcnResult, error) {
+	var out dcqcnResult
 	eng := sim.NewEngine()
 	rng := rand.New(rand.NewSource(seed))
 	net := topology.Star(eng, 5, topology.Options{
@@ -90,7 +116,9 @@ func runDCQCNFairness(mk func(*rand.Rand) func(int) aqm.AQM, seed int64) (sumGbp
 		recvs = append(recvs, r)
 	}
 	const half = 100 * sim.Millisecond
-	eng.RunUntil(half)
+	if err := runEngine(ctx, eng, half); err != nil {
+		return out, err
+	}
 	base := make([]int64, len(recvs))
 	for i, r := range recvs {
 		base[i] = r.BytesInOrder
@@ -100,7 +128,9 @@ func runDCQCNFairness(mk func(*rand.Rand) func(int) aqm.AQM, seed int64) (sumGbp
 	var qsum float64
 	var qn int
 	for ms := 1; ms <= 100; ms++ {
-		eng.RunUntil(half + sim.Time(ms)*sim.Millisecond)
+		if err := runEngine(ctx, eng, half+sim.Time(ms)*sim.Millisecond); err != nil {
+			return out, err
+		}
 		qsum += float64(eg.Len())
 		qn++
 	}
@@ -110,8 +140,11 @@ func runDCQCNFairness(mk func(*rand.Rand) func(int) aqm.AQM, seed int64) (sumGbp
 		sum += g
 		sumSq += g * g
 	}
+	out.SumGbps = sum
 	if sumSq > 0 {
-		jain = sum * sum / (4 * sumSq)
+		out.Jain = sum * sum / (4 * sumSq)
 	}
-	return sum, jain, qsum / float64(qn), eg.Drops
+	out.AvgQueuePkts = qsum / float64(qn)
+	out.Drops = eg.Drops
+	return out, nil
 }

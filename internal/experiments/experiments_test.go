@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/metrics"
 	"ecnsharp/internal/rttvar"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
@@ -571,6 +572,88 @@ func TestBufferModelsShape(t *testing.T) {
 		}
 		if scheme == "CoDel" && arch == "static 600pkt/port" && drops == 0 {
 			t.Error("CoDel clean under the static buffer; contrast lost")
+		}
+	}
+}
+
+// TestPooledP99DiffersFromAveraged pins the statistical fix in MergeRuns:
+// with a skewed two-seed fixture (one seed holds the single outlier), the
+// pooled p99 over the combined sample set is far from the old
+// average-of-per-seed-p99s, which let one seed's outlier dominate.
+func TestPooledP99DiffersFromAveraged(t *testing.T) {
+	// The outlier is 1 of 50 records in the skewed seed (2%, above that
+	// seed's p99 cut) but 1 of 200 pooled (0.5%, below the pooled cut).
+	skewed := metrics.NewFCTCollector()
+	for i := 0; i < 49; i++ {
+		skewed.Record(10_000, 100*sim.Microsecond, false)
+	}
+	skewed.Record(10_000, 10_000*sim.Microsecond, false)
+	uniform := metrics.NewFCTCollector()
+	for i := 0; i < 150; i++ {
+		uniform.Record(10_000, 100*sim.Microsecond, false)
+	}
+	a := RunResult{Stats: skewed.Stats(), Collector: skewed}
+	b := RunResult{Stats: uniform.Stats(), Collector: uniform}
+
+	merged := MergeRuns([]RunResult{a, b})
+	if merged.Collector.Count() != 200 {
+		t.Fatalf("pooled %d records, want 200", merged.Collector.Count())
+	}
+	if len(merged.PerSeed) != 2 {
+		t.Fatalf("PerSeed = %d results", len(merged.PerSeed))
+	}
+	averaged := (a.Stats.ShortP99 + b.Stats.ShortP99) / 2
+	pooled := merged.Stats.ShortP99
+	// The pooled p99 sits near the 100 µs mode while the per-seed average
+	// is dragged toward the outlier's ~10 ms.
+	if pooled >= averaged/2 {
+		t.Errorf("pooled p99 %.1f not clearly below averaged p99 %.1f", pooled, averaged)
+	}
+	if averaged < 1000 {
+		t.Errorf("fixture lost its skew: averaged p99 %.1f", averaged)
+	}
+}
+
+// TestParallelDeterminism: the same (config, seeds) pair produces an
+// identical merged result at any worker-pool width, because results merge
+// in submission order and every run owns its engine and RNG.
+func TestParallelDeterminism(t *testing.T) {
+	rtt := rttvar.NewVariation(TestbedRTTMin, 3)
+	sc := SmokeScale()
+	sc.FlowCount = 100
+	sc.Seeds = []int64{1, 2}
+	cfg := starCfg(TestbedSchemes()[3], workload.WebSearchCDF, 0.5, rtt, sc)
+
+	serial := sc
+	serial.Parallel = 1
+	wide := sc
+	wide.Parallel = 8
+	a := RunSeeds(serial, cfg)
+	b := RunSeeds(wide, cfg)
+
+	if a.Stats != b.Stats {
+		t.Errorf("stats differ across parallelism:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if a.Drops != b.Drops || a.Marks != b.Marks || a.Timeouts != b.Timeouts ||
+		a.Retransmits != b.Retransmits || a.Completed != b.Completed ||
+		a.Injected != b.Injected {
+		t.Error("counters differ across parallelism")
+	}
+	ar, br := a.Collector.Records(), b.Collector.Records()
+	if len(ar) != len(br) {
+		t.Fatalf("pooled record counts differ: %d vs %d", len(ar), len(br))
+	}
+	for i := range ar {
+		if ar[i] != br[i] {
+			t.Fatalf("pooled record %d differs: %+v vs %+v", i, ar[i], br[i])
+		}
+	}
+	if len(a.PerSeed) != 2 || len(b.PerSeed) != 2 {
+		t.Fatalf("PerSeed lengths %d/%d", len(a.PerSeed), len(b.PerSeed))
+	}
+	for i := range a.PerSeed {
+		if a.PerSeed[i].Stats != b.PerSeed[i].Stats {
+			t.Errorf("seed %d stats differ across parallelism", i)
 		}
 	}
 }

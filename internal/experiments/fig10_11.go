@@ -94,13 +94,12 @@ func incastFlowGen(fanout, bgFlows int) func(*rand.Rand) []workload.FlowSpec {
 	}
 }
 
-// runIncast executes one incast configuration. The run is bounded by a
-// deadline rather than full completion since background flows may extend
-// far past the burst.
-func runIncast(s Scheme, fanout, bgFlows int, seed int64, sample bool) RunResult {
+// incastCfg builds one incast configuration; the seed is assigned per run.
+// The run is bounded by a deadline rather than full completion since
+// background flows may extend far past the burst.
+func incastCfg(s Scheme, fanout, bgFlows int, sample bool) RunConfig {
 	rtt := LeafSpineRTT()
 	cfg := RunConfig{
-		Seed:      seed,
 		Topo:      TopoStar,
 		Hosts:     incastHosts,
 		Scheme:    s,
@@ -119,6 +118,13 @@ func runIncast(s Scheme, fanout, bgFlows int, seed int64, sample bool) RunResult
 		cfg.SampleEnd = incastQueryAt + 5*sim.Millisecond
 		cfg.SampleInterval = 10 * sim.Microsecond
 	}
+	return cfg
+}
+
+// runIncast executes one incast configuration on the calling goroutine.
+func runIncast(s Scheme, fanout, bgFlows int, seed int64, sample bool) RunResult {
+	cfg := incastCfg(s, fanout, bgFlows, sample)
+	cfg.Seed = seed
 	return Run(cfg)
 }
 
@@ -135,8 +141,16 @@ func Fig10(sc Scale) (*Table, map[string][]metrics.QueueSample) {
 			"burst peak(pkts)", "drops", "timeouts"},
 	}
 	traces := make(map[string][]metrics.QueueSample)
-	for _, s := range MicroscopicSchemes() {
-		r := runIncast(s, 100, sc.FlowCount, sc.Seeds[0], true)
+	schemes := MicroscopicSchemes()
+	cfgs := make([]RunConfig, 0, len(schemes))
+	for _, s := range schemes {
+		cfgs = append(cfgs, incastCfg(s, 100, sc.FlowCount, true))
+	}
+	one := sc
+	one.Seeds = sc.Seeds[:1] // the microscopic trace is a single-seed view
+	results := RunAll(one, cfgs)
+	for si, s := range schemes {
+		r := results[si]
 		var standing, burst float64
 		var nStand, nBurst int
 		for _, smp := range r.QueueSamples {
@@ -210,23 +224,24 @@ func Fig11(sc Scale) []*Table {
 		Title:   "[Simulation] packet drops and timeouts vs fanout (supporting Fig 11)",
 		Columns: append([]string{"fanout"}, schemeLabels(schemes)...),
 	}
+	// One batch over the (fanout, scheme) grid; seeds pool per cell, so the
+	// reported query p99 is the percentile of all seeds' query flows.
+	cfgs := make([]RunConfig, 0, len(sc.Fanouts)*len(schemes))
 	for _, fanout := range sc.Fanouts {
+		for _, s := range schemes {
+			cfgs = append(cfgs, incastCfg(s, fanout, sc.FlowCount, false))
+		}
+	}
+	results := RunAll(sc, cfgs)
+	for fi, fanout := range sc.Fanouts {
 		rowA := []string{fmt.Sprintf("%d", fanout)}
 		rowP := []string{fmt.Sprintf("%d", fanout)}
 		rowD := []string{fmt.Sprintf("%d", fanout)}
-		for _, s := range schemes {
-			// Average query stats across seeds.
-			var qa, qp float64
-			var dr int64
-			for _, seed := range sc.Seeds {
-				r := runIncast(s, fanout, sc.FlowCount, seed, false)
-				qa += r.Stats.QueryAvg / float64(len(sc.Seeds))
-				qp += r.Stats.QueryP99 / float64(len(sc.Seeds))
-				dr += r.Drops
-			}
-			rowA = append(rowA, f1(qa))
-			rowP = append(rowP, f1(qp))
-			rowD = append(rowD, fmt.Sprintf("%d", dr))
+		for si := range schemes {
+			r := results[fi*len(schemes)+si]
+			rowA = append(rowA, f1(r.Stats.QueryAvg))
+			rowP = append(rowP, f1(r.Stats.QueryP99))
+			rowD = append(rowD, fmt.Sprintf("%d", r.Drops))
 		}
 		avg.AddRow(rowA...)
 		p99.AddRow(rowP...)
@@ -244,7 +259,7 @@ func Fig12(sc Scale) []*Table {
 	rtt := LeafSpineRTT()
 	load := 0.5
 
-	run := func(wl string, p core.Params) float64 {
+	mkCfg := func(wl string, p core.Params) RunConfig {
 		cdf, err := workload.ByName(wl)
 		if err != nil {
 			panic(err)
@@ -253,8 +268,7 @@ func Fig12(sc Scale) []*Table {
 		if wl == workload.DataMining && sc.HeavyFlowCount > 0 {
 			scale.FlowCount = sc.HeavyFlowCount
 		}
-		r := starRun(ECNSharpScheme(p), cdf, load, rtt, scale)
-		return r.Stats.OverallAvg
+		return starCfg(ECNSharpScheme(p), cdf, load, rtt, scale)
 	}
 
 	base := core.Params{
@@ -267,6 +281,27 @@ func Fig12(sc Scale) []*Table {
 		200 * sim.Microsecond, 250 * sim.Microsecond}
 	targets := []sim.Time{6 * sim.Microsecond, 10 * sim.Microsecond,
 		14 * sim.Microsecond, 18 * sim.Microsecond}
+
+	// Both sensitivity sweeps go out as one batch of (setting, workload)
+	// cells; results come back in submission order.
+	cfgs := make([]RunConfig, 0, 2*(len(intervals)+len(targets)))
+	for _, iv := range intervals {
+		p := base
+		p.PstInterval = iv
+		cfgs = append(cfgs, mkCfg(workload.WebSearch, p), mkCfg(workload.DataMining, p))
+	}
+	for _, tg := range targets {
+		p := base
+		p.PstTarget = tg
+		cfgs = append(cfgs, mkCfg(workload.WebSearch, p), mkCfg(workload.DataMining, p))
+	}
+	results := RunAll(sc, cfgs)
+	idx := 0
+	next := func() float64 {
+		v := results[idx].Stats.OverallAvg
+		idx++
+		return v
+	}
 
 	ta := &Table{
 		ID:      "fig12a",
@@ -281,10 +316,8 @@ func Fig12(sc Scale) []*Table {
 
 	var baseWSi, baseDMi float64
 	for i, iv := range intervals {
-		p := base
-		p.PstInterval = iv
-		ws := run(workload.WebSearch, p)
-		dm := run(workload.DataMining, p)
+		ws := next()
+		dm := next()
 		if i == len(intervals)-1 { // normalize to the largest (default-ish) interval
 			baseWSi, baseDMi = ws, dm
 		}
@@ -294,10 +327,8 @@ func Fig12(sc Scale) []*Table {
 
 	var baseWSt, baseDMt float64
 	for i, tg := range targets {
-		p := base
-		p.PstTarget = tg
-		ws := run(workload.WebSearch, p)
-		dm := run(workload.DataMining, p)
+		ws := next()
+		dm := next()
 		if i == 1 { // normalize to the 10 µs default
 			baseWSt, baseDMt = ws, dm
 		}

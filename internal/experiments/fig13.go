@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ecnsharp/internal/asciiplot"
 	"ecnsharp/internal/dist"
+	"ecnsharp/internal/harness"
 	"ecnsharp/internal/metrics"
 	"ecnsharp/internal/queue"
 	"ecnsharp/internal/rttvar"
@@ -39,7 +41,7 @@ type Fig13Result struct {
 }
 
 // runFig13 executes the DWRR scenario under the given scheme.
-func runFig13(s Scheme, seed int64, probes int) Fig13Result {
+func runFig13(ctx context.Context, s Scheme, seed int64, probes int) (Fig13Result, error) {
 	eng := sim.NewEngine()
 	rng := rand.New(rand.NewSource(seed))
 	rtt := LeafSpineRTT()
@@ -105,7 +107,9 @@ func runFig13(s Scheme, seed int64, probes int) Fig13Result {
 			func(f *transport.Flow) { collector.Record(f.Size, f.FCT, false) })
 	}
 
-	eng.RunUntil(dwrrDeadline)
+	if err := runEngine(ctx, eng, dwrrDeadline); err != nil {
+		return res, err
+	}
 
 	for i, m := range meters {
 		res.Series[i] = m.Series
@@ -124,7 +128,7 @@ func runFig13(s Scheme, seed int64, probes int) Fig13Result {
 	}
 	res.ShortAvgFCT = collector.Stats().ShortAvg
 	res.ShortFCTs = collector.ShortFCTsMicros()
-	return res
+	return res, nil
 }
 
 // Fig13 reproduces Figure 13: (a) per-flow goodput under ECN♯ with DWRR
@@ -139,8 +143,25 @@ func Fig13(sc Scale) ([]*Table, Fig13Result, Fig13Result) {
 	if probes < 40 {
 		probes = 40
 	}
-	sharp := runFig13(sharpScheme, sc.Seeds[0], probes)
-	tcnRes := runFig13(tcn, sc.Seeds[0], probes)
+	// The two scheme runs are independent; fan them out on the harness.
+	jobs := make([]harness.Job, 0, 2)
+	for _, s := range []Scheme{sharpScheme, tcn} {
+		s := s
+		jobs = append(jobs, harness.Job{
+			Label: fmt.Sprintf("fig13 %s", s.Label),
+			Run: func(ctx context.Context) (any, error) {
+				return runFig13(ctx, s, sc.Seeds[0], probes)
+			},
+		})
+	}
+	res, _ := harness.Execute(context.Background(), jobs, sc.harnessOptions())
+	for _, r := range res {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", r.Label, r.Err))
+		}
+	}
+	sharp := res[0].Value.(Fig13Result)
+	tcnRes := res[1].Value.(Fig13Result)
 
 	ta := &Table{
 		ID:      "fig13a",

@@ -34,17 +34,23 @@ func testbedFlowGen(wl *dist.EmpiricalCDF, load float64, flowCount int) func(*ra
 	}
 }
 
-// starRun executes one testbed configuration averaged over seeds.
-func starRun(scheme Scheme, wl *dist.EmpiricalCDF, load float64,
-	rtt rttvar.RTTDistribution, sc Scale) RunResult {
-	cfg := RunConfig{
+// starCfg builds one testbed configuration; the seed is assigned by the
+// harness per run.
+func starCfg(scheme Scheme, wl *dist.EmpiricalCDF, load float64,
+	rtt rttvar.RTTDistribution, sc Scale) RunConfig {
+	return RunConfig{
 		Topo:    TopoStar,
 		Hosts:   TestbedHosts,
 		Scheme:  scheme,
 		RTT:     &rtt,
 		FlowGen: testbedFlowGen(wl, load, sc.FlowCount),
 	}
-	return AverageSeeds(cfg, sc.Seeds)
+}
+
+// starRun executes one testbed configuration pooled over seeds.
+func starRun(scheme Scheme, wl *dist.EmpiricalCDF, load float64,
+	rtt rttvar.RTTDistribution, sc Scale) RunResult {
+	return RunSeeds(sc, starCfg(scheme, wl, load, rtt, sc))
 }
 
 // Fig2 reproduces Figure 2: with a 3× RTT variation (70–210 µs) and the
@@ -62,9 +68,14 @@ func Fig2(sc Scale) *Table {
 		shortP99 float64
 		overall  float64
 	}
-	pts := make([]point, 0, len(thresholds))
+	cfgs := make([]RunConfig, 0, len(thresholds))
 	for _, k := range thresholds {
-		r := starRun(REDFixed(k), workload.WebSearchCDF, 0.5, rtt, sc)
+		cfgs = append(cfgs, starCfg(REDFixed(k), workload.WebSearchCDF, 0.5, rtt, sc))
+	}
+	results := RunAll(sc, cfgs)
+	pts := make([]point, 0, len(thresholds))
+	for i, k := range thresholds {
+		r := results[i]
 		pts = append(pts, point{k, r.Stats.LargeAvg, r.Stats.ShortP99, r.Stats.OverallAvg})
 	}
 	base := pts[0]
@@ -97,13 +108,23 @@ func Fig3(sc Scale) *Table {
 		Columns: []string{"variation", "K_avg(KB)", "K_tail(KB)",
 			"large avg: AVG/Tail", "short p99: Tail/AVG"},
 	}
-	for _, v := range []float64{2, 3, 4, 5} {
+	variations := []float64{2, 3, 4, 5}
+	type pair struct{ kAvg, kTail int64 }
+	ks := make([]pair, 0, len(variations))
+	cfgs := make([]RunConfig, 0, 2*len(variations))
+	for _, v := range variations {
 		rtt := rttvar.NewVariation(TestbedRTTMin, v)
 		kAvg := core.ThresholdBytes(core.LambdaECNTCP, topology.TenGbps, rtt.Mean())
 		kTail := core.ThresholdBytes(core.LambdaECNTCP, topology.TenGbps, rtt.Percentile(90))
-		avg := starRun(REDFixed(kAvg), workload.WebSearchCDF, 0.5, rtt, sc)
-		tail := starRun(REDFixed(kTail), workload.WebSearchCDF, 0.5, rtt, sc)
-		t.AddRow(f1(v), f1(float64(kAvg)/1000), f1(float64(kTail)/1000),
+		ks = append(ks, pair{kAvg, kTail})
+		cfgs = append(cfgs,
+			starCfg(REDFixed(kAvg), workload.WebSearchCDF, 0.5, rtt, sc),
+			starCfg(REDFixed(kTail), workload.WebSearchCDF, 0.5, rtt, sc))
+	}
+	results := RunAll(sc, cfgs)
+	for i, v := range variations {
+		avg, tail := results[2*i], results[2*i+1]
+		t.AddRow(f1(v), f1(float64(ks[i].kAvg)/1000), f1(float64(ks[i].kTail)/1000),
 			f3(ratio(avg.Stats.LargeAvg, tail.Stats.LargeAvg)),
 			f3(ratio(tail.Stats.ShortP99, avg.Stats.ShortP99)))
 	}

@@ -25,19 +25,20 @@ var fctMetrics = []fctMetric{
 	{"[10MB,inf):avg", func(s metrics.FCTStats) float64 { return s.LargeAvg }},
 }
 
-// fctSweep runs every (load, scheme) cell and emits one sub-table per FCT
-// metric, each normalized to the first scheme (DCTCP-RED-Tail).
-func fctSweep(id, title string, schemes []Scheme, loads []float64,
-	run func(s Scheme, load float64) RunResult) []*Table {
-	type cell struct{ stats metrics.FCTStats }
-	results := make([][]cell, len(loads))
-	for li, load := range loads {
-		results[li] = make([]cell, len(schemes))
-		for si, s := range schemes {
-			r := run(s, load)
-			results[li][si] = cell{r.Stats}
+// fctSweep builds every (load, scheme) cell configuration, fans the whole
+// grid (cells × seeds) out over the worker pool in one batch, and emits one
+// sub-table per FCT metric, each normalized to the first scheme
+// (DCTCP-RED-Tail).
+func fctSweep(id, title string, schemes []Scheme, loads []float64, sc Scale,
+	mkCfg func(s Scheme, load float64) RunConfig) []*Table {
+	cfgs := make([]RunConfig, 0, len(loads)*len(schemes))
+	for _, load := range loads {
+		for _, s := range schemes {
+			cfgs = append(cfgs, mkCfg(s, load))
 		}
 	}
+	pooled := RunAll(sc, cfgs)
+	cell := func(li, si int) metrics.FCTStats { return pooled[li*len(schemes)+si].Stats }
 
 	tables := make([]*Table, 0, len(fctMetrics))
 	for mi, m := range fctMetrics {
@@ -47,10 +48,10 @@ func fctSweep(id, title string, schemes []Scheme, loads []float64,
 			Columns: append([]string{"load(%)"}, schemeLabels(schemes)...),
 		}
 		for li, load := range loads {
-			base := m.get(results[li][0].stats)
+			base := m.get(cell(li, 0))
 			row := []string{f1(load * 100)}
 			for si := range schemes {
-				row = append(row, f3(ratio(m.get(results[li][si].stats), base)))
+				row = append(row, f3(ratio(m.get(cell(li, si)), base)))
 			}
 			t.AddRow(row...)
 		}
@@ -71,9 +72,9 @@ func schemeLabels(schemes []Scheme) []string {
 // workload across loads, four schemes, normalized to DCTCP-RED-Tail.
 func Fig6(sc Scale) []*Table {
 	rtt := rttvar.NewVariation(TestbedRTTMin, 3)
-	return fctSweep("fig6", "[Testbed] web search FCT", TestbedSchemes(), sc.Loads,
-		func(s Scheme, load float64) RunResult {
-			return starRun(s, workload.WebSearchCDF, load, rtt, sc)
+	return fctSweep("fig6", "[Testbed] web search FCT", TestbedSchemes(), sc.Loads, sc,
+		func(s Scheme, load float64) RunConfig {
+			return starCfg(s, workload.WebSearchCDF, load, rtt, sc)
 		})
 }
 
@@ -84,9 +85,9 @@ func Fig7(sc Scale) []*Table {
 	if heavy.HeavyFlowCount > 0 {
 		heavy.FlowCount = heavy.HeavyFlowCount
 	}
-	return fctSweep("fig7", "[Testbed] data mining FCT", TestbedSchemes(), sc.Loads,
-		func(s Scheme, load float64) RunResult {
-			return starRun(s, workload.DataMiningCDF, load, rtt, heavy)
+	return fctSweep("fig7", "[Testbed] data mining FCT", TestbedSchemes(), sc.Loads, sc,
+		func(s Scheme, load float64) RunConfig {
+			return starCfg(s, workload.DataMiningCDF, load, rtt, heavy)
 		})
 }
 
@@ -108,17 +109,29 @@ func Fig8(sc Scale) []*Table {
 		Columns: append([]string{"load(%)"}, variationCols(variations)...),
 	}
 
+	// One batch across the whole (variation, load, {tail, sharp}) grid.
+	cfgs := make([]RunConfig, 0, 2*len(variations)*len(sc.Loads))
+	for _, v := range variations {
+		rtt := rttvar.NewVariation(TestbedRTTMin, v)
+		tail, _, sharp := DeriveSchemes(rtt, topology.TenGbps)
+		for _, load := range sc.Loads {
+			cfgs = append(cfgs,
+				starCfg(tail, workload.WebSearchCDF, load, rtt, sc),
+				starCfg(sharp, workload.WebSearchCDF, load, rtt, sc))
+		}
+	}
+	results := RunAll(sc, cfgs)
+
 	type key struct {
 		li, vi int
 	}
 	ovr := map[key]float64{}
 	shp := map[key]float64{}
-	for vi, v := range variations {
-		rtt := rttvar.NewVariation(TestbedRTTMin, v)
-		tail, _, sharp := DeriveSchemes(rtt, topology.TenGbps)
-		for li, load := range sc.Loads {
-			rt := starRun(tail, workload.WebSearchCDF, load, rtt, sc)
-			rs := starRun(sharp, workload.WebSearchCDF, load, rtt, sc)
+	idx := 0
+	for vi := range variations {
+		for li := range sc.Loads {
+			rt, rs := results[idx], results[idx+1]
+			idx += 2
 			ovr[key{li, vi}] = ratio(rs.Stats.OverallAvg, rt.Stats.OverallAvg)
 			shp[key{li, vi}] = ratio(rs.Stats.ShortP99, rt.Stats.ShortP99)
 		}
@@ -200,9 +213,9 @@ func Fig9(sc Scale) []*Table {
 		}
 	}
 	tables := fctSweep("fig9", "[Simulation] 128-host leaf-spine, web search FCT",
-		schemes, sc.Loads,
-		func(s Scheme, load float64) RunResult {
-			cfg := RunConfig{
+		schemes, sc.Loads, sc,
+		func(s Scheme, load float64) RunConfig {
+			return RunConfig{
 				Topo:         TopoLeafSpine,
 				Spines:       8,
 				Leaves:       8,
@@ -211,7 +224,6 @@ func Fig9(sc Scale) []*Table {
 				RTT:          &rtt,
 				FlowGen:      flowGen(load),
 			}
-			return AverageSeeds(cfg, sc.Seeds)
 		})
 	// The paper's Figure 9 shows (a) overall avg and (b) short avg.
 	return tables[:2]

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ecnsharp/internal/aqm"
 	"ecnsharp/internal/core"
+	"ecnsharp/internal/harness"
 	"ecnsharp/internal/metrics"
 	"ecnsharp/internal/rttvar"
 	"ecnsharp/internal/sim"
@@ -49,24 +51,54 @@ func ProbExtension(sc Scale) *Table {
 		Columns: []string{"variant", "standing queue(pkts)", "drops",
 			"query p99(us)", "jain fairness", "goodput sum(Gbps)"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		mk   func(rng *rand.Rand) func(int) aqm.AQM
 	}{
 		{"ECN# (cut-off)", makeCutoff},
 		{"ECN# (probabilistic)", makeProb},
-	} {
-		standing, drops, qp99 := probIncast(v.mk, sc)
-		jain, sum := probFairness(v.mk)
-		t.AddRow(v.name, f1(standing), fmt.Sprintf("%d", drops), f1(qp99),
-			f3(jain), f2(sum))
+	}
+	// Each variant runs its incast and fairness checks as one harness job.
+	type probResult struct {
+		standing float64
+		drops    int64
+		qp99     float64
+		jain     float64
+		sum      float64
+	}
+	jobs := make([]harness.Job, 0, len(variants))
+	for _, v := range variants {
+		v := v
+		jobs = append(jobs, harness.Job{
+			Label: "prob " + v.name,
+			Run: func(ctx context.Context) (any, error) {
+				standing, drops, qp99, err := probIncast(ctx, v.mk, sc)
+				if err != nil {
+					return nil, err
+				}
+				jain, sum, err := probFairness(ctx, v.mk)
+				if err != nil {
+					return nil, err
+				}
+				return probResult{standing, drops, qp99, jain, sum}, nil
+			},
+		})
+	}
+	res, _ := harness.Execute(context.Background(), jobs, sc.harnessOptions())
+	for i, v := range variants {
+		if res[i].Err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", res[i].Label, res[i].Err))
+		}
+		o := res[i].Value.(probResult)
+		t.AddRow(v.name, f1(o.standing), fmt.Sprintf("%d", o.drops), f1(o.qp99),
+			f3(o.jain), f2(o.sum))
 	}
 	t.AddNote("both variants should be drop-free with a low standing queue; probabilistic marking must not hurt fairness")
 	return t
 }
 
 // probIncast reruns the Figure-10 scenario with a custom AQM factory.
-func probIncast(mk func(*rand.Rand) func(int) aqm.AQM, sc Scale) (standing float64, drops int64, queryP99 float64) {
+func probIncast(ctx context.Context, mk func(*rand.Rand) func(int) aqm.AQM, sc Scale) (standing float64, drops int64, queryP99 float64, err error) {
 	rtt := LeafSpineRTT()
 	cfg := RunConfig{
 		Seed:           sc.Seeds[0],
@@ -83,13 +115,16 @@ func probIncast(mk func(*rand.Rand) func(int) aqm.AQM, sc Scale) (standing float
 		SampleInterval: 10 * sim.Microsecond,
 	}
 	cfg.AQMFactory = mk
-	r := Run(cfg)
-	return r.AvgQueuePkts, r.Drops, r.Stats.QueryP99
+	r, err := RunContext(ctx, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r.AvgQueuePkts, r.Drops, r.Stats.QueryP99, nil
 }
 
 // probFairness runs four synchronized long flows and reports Jain's index
 // of their goodput plus the aggregate.
-func probFairness(mk func(*rand.Rand) func(int) aqm.AQM) (jain, sumGbps float64) {
+func probFairness(ctx context.Context, mk func(*rand.Rand) func(int) aqm.AQM) (jain, sumGbps float64, err error) {
 	eng := sim.NewEngine()
 	rng := rand.New(rand.NewSource(17))
 	net := topology.Star(eng, 5, topology.Options{
@@ -115,7 +150,9 @@ func probFairness(mk func(*rand.Rand) func(int) aqm.AQM) (jain, sumGbps float64)
 		meters[i] = metrics.NewGoodputMeter(eng, func() int64 { return recv.BytesInOrder },
 			horizon/2, horizon, 5*sim.Millisecond)
 	}
-	eng.RunUntil(horizon)
+	if err := runEngine(ctx, eng, horizon); err != nil {
+		return 0, 0, err
+	}
 
 	var sum, sumSq float64
 	for _, m := range meters {
@@ -124,7 +161,7 @@ func probFairness(mk func(*rand.Rand) func(int) aqm.AQM) (jain, sumGbps float64)
 		sumSq += g * g
 	}
 	if sumSq == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
-	return sum * sum / (4 * sumSq), sum
+	return sum * sum / (4 * sumSq), sum, nil
 }

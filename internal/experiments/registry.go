@@ -54,13 +54,12 @@ func All() []Experiment {
 
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, error) {
-	for _, e := range All() {
+	all := All()
+	ids := make([]string, 0, len(all))
+	for _, e := range all {
 		if e.ID == id {
 			return e, nil
 		}
-	}
-	ids := make([]string, 0)
-	for _, e := range All() {
 		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ecnsharp/internal/aqm"
 
+	"ecnsharp/internal/harness"
 	"ecnsharp/internal/metrics"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/queue"
@@ -109,6 +111,11 @@ type RunResult struct {
 	MaxQueuePkts int
 
 	Net *topology.Net
+
+	// PerSeed holds the unmerged per-seed results when this result was
+	// pooled across seeds by MergeRuns (nil for a direct single run), so
+	// every seed's collector and queue samples stay reachable.
+	PerSeed []RunResult
 }
 
 func (c *RunConfig) defaults() {
@@ -141,6 +148,15 @@ func pathRTT(c *RunConfig) sim.Time {
 
 // Run executes the configured simulation and gathers results.
 func Run(cfg RunConfig) RunResult {
+	r, _ := RunContext(context.Background(), cfg)
+	return r
+}
+
+// RunContext is Run with cancellation: the engine polls ctx between event
+// chunks, so a canceled context or expired per-job deadline stops the run
+// early. On cancellation the returned result is partial and the error is
+// ctx's.
+func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	cfg.defaults()
 	eng := sim.NewEngine()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -222,11 +238,7 @@ func Run(cfg RunConfig) RunResult {
 		sampler = metrics.NewQueueSampler(eng, eg, cfg.SampleStart, cfg.SampleEnd, cfg.SampleInterval)
 	}
 
-	if cfg.Deadline > 0 {
-		eng.RunUntil(cfg.Deadline)
-	} else {
-		eng.Run()
-	}
+	runErr := runEngine(ctx, eng, cfg.Deadline)
 
 	res := RunResult{
 		Stats:     collector.Stats(),
@@ -246,47 +258,126 @@ func Run(cfg RunConfig) RunResult {
 		res.AvgQueuePkts = sampler.AvgPackets()
 		res.MaxQueuePkts = sampler.MaxPackets()
 	}
-	return res
+	return res, runErr
 }
 
-// AverageSeeds runs the config across seeds and averages the headline FCT
-// statistics; the paper reports three-run averages (§5.1).
-func AverageSeeds(cfg RunConfig, seeds []int64) RunResult {
-	if len(seeds) == 0 {
-		panic("experiments: no seeds")
+// runEngine drives eng to completion (or to the simulated deadline, when
+// positive), polling ctx between event chunks so cancellation and per-job
+// timeouts can stop a run mid-flight. Runs under an uncancelable context
+// take the unchunked fast path.
+func runEngine(ctx context.Context, eng *sim.Engine, deadline sim.Time) error {
+	if ctx.Done() == nil {
+		if deadline > 0 {
+			eng.RunUntil(deadline)
+		} else {
+			eng.Run()
+		}
+		return nil
 	}
-	var agg RunResult
-	var stats []metrics.FCTStats
-	for i, s := range seeds {
-		c := cfg
-		c.Seed = s
-		r := Run(c)
-		stats = append(stats, r.Stats)
-		agg.Drops += r.Drops
-		agg.Marks += r.Marks
-		agg.Timeouts += r.Timeouts
-		agg.Retransmits += r.Retransmits
-		agg.Completed += r.Completed
-		agg.Injected += r.Injected
-		if i == 0 {
-			agg.Collector = r.Collector
-			agg.QueueSamples = r.QueueSamples
-			agg.AvgQueuePkts = r.AvgQueuePkts
-			agg.MaxQueuePkts = r.MaxQueuePkts
+	limit := deadline
+	if limit <= 0 {
+		limit = sim.MaxTime
+	}
+	const chunk = 1 << 14
+	for eng.RunChunk(limit, chunk) {
+		if err := ctx.Err(); err != nil {
+			eng.Stop()
+			return err
 		}
 	}
-	n := float64(len(stats))
-	for _, s := range stats {
-		agg.Stats.OverallAvg += s.OverallAvg / n
-		agg.Stats.ShortAvg += s.ShortAvg / n
-		agg.Stats.ShortP99 += s.ShortP99 / n
-		agg.Stats.LargeAvg += s.LargeAvg / n
-		agg.Stats.QueryAvg += s.QueryAvg / n
-		agg.Stats.QueryP99 += s.QueryP99 / n
-		agg.Stats.OverallCount += s.OverallCount
-		agg.Stats.ShortCount += s.ShortCount
-		agg.Stats.LargeCount += s.LargeCount
-		agg.Stats.QueryCount += s.QueryCount
+	if deadline > 0 {
+		eng.AdvanceTo(deadline)
 	}
-	return agg
+	return ctx.Err()
+}
+
+// MergeRuns pools per-seed results into one, deterministically in input
+// (seed) order: counters sum, FCT records pool into a fresh collector so
+// percentiles are computed over the combined sample set (a true pooled p99,
+// not an average of per-seed p99s), and every seed's queue samples are
+// concatenated and retained. The per-seed results remain reachable via
+// PerSeed.
+func MergeRuns(runs []RunResult) RunResult {
+	if len(runs) == 0 {
+		panic("experiments: MergeRuns of no runs")
+	}
+	pool := metrics.NewFCTCollector()
+	merged := RunResult{Net: runs[0].Net}
+	for _, r := range runs {
+		pool.Merge(r.Collector)
+		merged.Drops += r.Drops
+		merged.Marks += r.Marks
+		merged.Timeouts += r.Timeouts
+		merged.Retransmits += r.Retransmits
+		merged.Completed += r.Completed
+		merged.Injected += r.Injected
+		merged.QueueSamples = append(merged.QueueSamples, r.QueueSamples...)
+		if r.MaxQueuePkts > merged.MaxQueuePkts {
+			merged.MaxQueuePkts = r.MaxQueuePkts
+		}
+	}
+	if len(merged.QueueSamples) > 0 {
+		var total float64
+		for _, s := range merged.QueueSamples {
+			total += float64(s.Packets)
+		}
+		merged.AvgQueuePkts = total / float64(len(merged.QueueSamples))
+	}
+	merged.Collector = pool
+	merged.Stats = pool.Stats()
+	merged.PerSeed = runs
+	return merged
+}
+
+// RunAll executes one job per (config, seed) pair on a worker pool sized by
+// sc.Parallel — each job on its own engine, preserving per-seed determinism
+// — and returns one seed-pooled result per config, in config order. The
+// merge order is fixed by the submission order, so the output is identical
+// at any parallelism. A failed job (per-run timeout, or a panic on a worker
+// goroutine) aborts with a panic naming the run.
+func RunAll(sc Scale, cfgs []RunConfig) []RunResult {
+	if len(sc.Seeds) == 0 {
+		panic("experiments: no seeds")
+	}
+	jobs := make([]harness.Job, 0, len(cfgs)*len(sc.Seeds))
+	for ci := range cfgs {
+		for _, seed := range sc.Seeds {
+			c := cfgs[ci]
+			c.Seed = seed
+			jobs = append(jobs, harness.Job{
+				Label: fmt.Sprintf("%s seed=%d", c.Scheme.Label, seed),
+				Run: func(ctx context.Context) (any, error) {
+					return RunContext(ctx, c)
+				},
+			})
+		}
+	}
+	res, _ := harness.Execute(context.Background(), jobs, sc.harnessOptions())
+	out := make([]RunResult, len(cfgs))
+	for ci := range cfgs {
+		group := make([]RunResult, len(sc.Seeds))
+		for si := range sc.Seeds {
+			r := res[ci*len(sc.Seeds)+si]
+			if r.Err != nil {
+				panic(fmt.Sprintf("experiments: %s: %v", r.Label, r.Err))
+			}
+			group[si] = r.Value.(RunResult)
+		}
+		out[ci] = MergeRuns(group)
+	}
+	return out
+}
+
+// RunSeeds executes cfg once per configured seed and pools the results.
+func RunSeeds(sc Scale, cfg RunConfig) RunResult {
+	return RunAll(sc, []RunConfig{cfg})[0]
+}
+
+// AverageSeeds runs the config across seeds; the paper reports three-run
+// statistics (§5.1). Kept under its historical name for callers without a
+// Scale, it now pools samples across seeds via MergeRuns instead of
+// averaging per-seed percentiles (which biased the reported p99s) and
+// retains every seed's collector and queue samples.
+func AverageSeeds(cfg RunConfig, seeds []int64) RunResult {
+	return RunSeeds(Scale{Seeds: seeds}, cfg)
 }

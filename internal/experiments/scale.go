@@ -1,10 +1,21 @@
 package experiments
 
+import (
+	"time"
+
+	"ecnsharp/internal/harness"
+)
+
 // Scale controls how much work an experiment does. The paper's full
 // parameter grids are expensive at packet granularity; Quick keeps every
 // qualitative comparison while trimming flow counts, seeds and sweep
 // points so the whole suite runs in minutes. Full mirrors the paper's
 // grid densities.
+//
+// It also carries the execution knobs for the job harness: every
+// independent (config, seed) run is fanned out over a worker pool, and
+// because results merge in submission order, the output is identical at
+// any Parallel setting.
 type Scale struct {
 	// FlowCount is the number of background flows per run.
 	FlowCount int
@@ -20,6 +31,20 @@ type Scale struct {
 	LeafSpineFlowCount int
 	// Fanouts are the incast sender counts for Figure 11.
 	Fanouts []int
+
+	// Parallel sizes the worker pool for independent simulation runs:
+	// 0 means one worker per CPU (GOMAXPROCS), 1 runs serially.
+	Parallel int
+	// Timeout, when positive, bounds each individual run's wall-clock
+	// time; an exceeded run aborts the experiment.
+	Timeout time.Duration
+	// Progress, when non-nil, receives one event per completed run.
+	Progress func(harness.Progress)
+}
+
+// harnessOptions maps the Scale's execution knobs onto the job harness.
+func (sc Scale) harnessOptions() harness.Options {
+	return harness.Options{Parallel: sc.Parallel, Timeout: sc.Timeout, OnDone: sc.Progress}
 }
 
 // FullScale mirrors the paper's grids: loads 10–90%, three seeds.

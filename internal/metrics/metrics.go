@@ -36,6 +36,17 @@ func (c *FCTCollector) Record(size int64, fct sim.Time, query bool) {
 	c.records = append(c.records, FCTRecord{Size: size, FCT: fct, Query: query})
 }
 
+// Merge appends all of other's records, pooling the two sample sets.
+// Multi-seed experiments merge per-seed collectors and compute statistics
+// over the pooled records, so percentiles are true percentiles of the
+// combined distribution rather than averages of per-seed percentiles.
+func (c *FCTCollector) Merge(other *FCTCollector) {
+	if other == nil {
+		return
+	}
+	c.records = append(c.records, other.records...)
+}
+
 // Count returns the number of recorded flows.
 func (c *FCTCollector) Count() int { return len(c.records) }
 

@@ -156,3 +156,39 @@ func TestGoodputMeterPanicsOnBadInterval(t *testing.T) {
 	}()
 	NewGoodputMeter(sim.NewEngine(), func() int64 { return 0 }, 0, 1, 0)
 }
+
+func TestFCTCollectorMerge(t *testing.T) {
+	a := NewFCTCollector()
+	b := NewFCTCollector()
+	for i := 0; i < 99; i++ {
+		a.Record(50_000, 100*sim.Microsecond, false)
+	}
+	a.Record(50_000, 10_000*sim.Microsecond, false) // one heavy-tail sample
+	for i := 0; i < 100; i++ {
+		b.Record(50_000, 100*sim.Microsecond, false)
+	}
+
+	avgOfP99s := (a.Stats().ShortP99 + b.Stats().ShortP99) / 2
+
+	pooled := NewFCTCollector()
+	pooled.Merge(a)
+	pooled.Merge(b)
+	pooled.Merge(nil) // no-op
+	if pooled.Count() != 200 {
+		t.Fatalf("pooled count = %d, want 200", pooled.Count())
+	}
+	// Records pool in merge order; a and b stay untouched.
+	if a.Count() != 100 || b.Count() != 100 {
+		t.Errorf("merge mutated sources: %d / %d", a.Count(), b.Count())
+	}
+	if got := pooled.Records()[0]; got != a.Records()[0] {
+		t.Errorf("first pooled record %+v, want %+v", got, a.Records()[0])
+	}
+	// The pooled p99 is a percentile of the combined 200 samples, not the
+	// average of the per-seed p99s — the heavy tail sits at rank 199/200,
+	// so the two must differ on this skewed fixture.
+	pooledP99 := pooled.Stats().ShortP99
+	if pooledP99 == avgOfP99s {
+		t.Errorf("pooled p99 %.1f equals averaged p99 — pooling not in effect", pooledP99)
+	}
+}

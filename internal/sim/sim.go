@@ -120,8 +120,9 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of pending (non-canceled) events, including
-// canceled events not yet drained.
+// Len returns the number of queued events. Canceled events count until
+// they are lazily drained from the heap, so Len is an upper bound on the
+// events that will actually fire.
 func (e *Engine) Len() int { return len(e.queue) }
 
 // Schedule runs fn at absolute time at. Scheduling in the past (before the
@@ -185,18 +186,41 @@ func (e *Engine) Run() {
 // to deadline (if it advanced past fewer events). Events after the deadline
 // remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.peek()
-		if next == nil {
-			break
+	for e.RunChunk(deadline, 1<<20) {
+	}
+	e.AdvanceTo(deadline)
+}
+
+// RunChunk executes at most limit events with timestamps <= deadline and
+// reports whether runnable events at or before the deadline remain. It is
+// the building block for externally interruptible runs: callers alternate
+// RunChunk with checks of a cancellation signal (see experiments.RunContext).
+// Unlike RunUntil it never advances the clock past the last executed event;
+// chunked callers that need RunUntil's clock semantics call AdvanceTo after
+// the final chunk.
+func (e *Engine) RunChunk(deadline Time, limit int) bool {
+	for i := 0; i < limit; i++ {
+		if e.stopped {
+			return false
 		}
-		if next.at > deadline {
-			break
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			return false
 		}
 		e.Step()
 	}
-	if !e.stopped && e.now < deadline {
-		e.now = deadline
+	if e.stopped {
+		return false
+	}
+	next := e.peek()
+	return next != nil && next.at <= deadline
+}
+
+// AdvanceTo moves the clock forward to t without executing events; moving
+// backwards or advancing a stopped engine is a no-op.
+func (e *Engine) AdvanceTo(t Time) {
+	if !e.stopped && e.now < t {
+		e.now = t
 	}
 }
 

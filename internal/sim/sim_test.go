@@ -231,3 +231,59 @@ func TestEngineHeavyInterleaving(t *testing.T) {
 		t.Errorf("queue not drained: %d", e.Len())
 	}
 }
+
+func TestEngineRunChunk(t *testing.T) {
+	eng := NewEngine()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(Time(i)*Microsecond, func() { fired = append(fired, i) })
+	}
+	// Three events per chunk: events remain after the first two chunks.
+	if !eng.RunChunk(MaxTime, 3) || !eng.RunChunk(MaxTime, 3) {
+		t.Fatal("RunChunk reported an empty queue with events pending")
+	}
+	if len(fired) != 6 {
+		t.Fatalf("fired %d events after two chunks of 3", len(fired))
+	}
+	for eng.RunChunk(MaxTime, 3) {
+	}
+	if len(fired) != 10 {
+		t.Fatalf("fired %d/10 events", len(fired))
+	}
+	// A deadline bounds the chunk just like RunUntil.
+	eng2 := NewEngine()
+	ran := 0
+	for i := 0; i < 5; i++ {
+		eng2.Schedule(Time(i)*Microsecond, func() { ran++ })
+	}
+	for eng2.RunChunk(2*Microsecond, 2) {
+	}
+	if ran != 3 {
+		t.Errorf("ran %d events up to 2us, want 3", ran)
+	}
+	if eng2.Now() != 2*Microsecond {
+		t.Errorf("clock at %v after chunks to 2us", eng2.Now())
+	}
+	eng2.AdvanceTo(4 * Microsecond)
+	if eng2.Now() != 4*Microsecond {
+		t.Errorf("AdvanceTo left clock at %v", eng2.Now())
+	}
+	eng2.AdvanceTo(1 * Microsecond) // backwards: no-op
+	if eng2.Now() != 4*Microsecond {
+		t.Errorf("AdvanceTo moved the clock backwards to %v", eng2.Now())
+	}
+}
+
+func TestEngineRunChunkStopped(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(0, func() { eng.Stop() })
+	eng.Schedule(Microsecond, func() { t.Error("event ran after Stop") })
+	if eng.RunChunk(MaxTime, 100) {
+		t.Error("RunChunk reported runnable events on a stopped engine")
+	}
+	eng.AdvanceTo(Second)
+	if eng.Now() != 0 {
+		t.Errorf("AdvanceTo advanced a stopped engine to %v", eng.Now())
+	}
+}
