@@ -11,15 +11,20 @@
 //	ecnsim -scheme red-tail -workload datamining -load 0.5 -flows 500
 //	ecnsim -topo leafspine -scheme codel -load 0.4
 //	ecnsim -seeds 1,2,3 -parallel 3   # pooled statistics over three seeds
+//	ecnsim -trace run.jsonl -trace-events mark,drop -trace-sample 10
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ecnsharp/internal/experiments"
@@ -27,6 +32,7 @@ import (
 	"ecnsharp/internal/rttvar"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
+	"ecnsharp/internal/trace"
 	"ecnsharp/internal/workload"
 )
 
@@ -44,8 +50,14 @@ func main() {
 		topo       = flag.String("topo", "star", "topology: star (8-host testbed) or leafspine (128 hosts)")
 		rttMinUS   = flag.Float64("rtt-min", 70, "minimum base RTT in microseconds")
 		variation  = flag.Float64("rtt-variation", 3, "RTT variation factor (RTTmax/RTTmin)")
-		tracePath  = flag.String("trace", "", "replay flows from this trace CSV instead of generating them")
-		saveTrace  = flag.String("save-trace", "", "write the generated flows to this trace CSV")
+		replayPath = flag.String("replay", "", "replay flows from this flow CSV instead of generating them")
+		saveFlows  = flag.String("save-flows", "", "write the generated flows to this flow CSV")
+
+		traceFile = flag.String("trace", "",
+			"stream an event trace to this file (JSONL; a .csv suffix selects CSV);\nwith multiple seeds each job writes <name>.job<N><ext>  (see TRACING.md)")
+		traceEvents = flag.String("trace-events", "all",
+			"comma-separated event types to trace: enqueue,dequeue,drop,mark,sojourn,cwnd,rate,echo,flow_start,flow_finish or all")
+		traceSample = flag.Int("trace-sample", 1, "keep every n-th selected event (sampling stride)")
 	)
 	flag.Parse()
 
@@ -128,8 +140,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecnsim:", err)
 			os.Exit(1)
@@ -142,9 +154,9 @@ func main() {
 		}
 		cfg.FlowGen = nil
 		cfg.Flows = specs
-	} else if *saveTrace != "" {
+	} else if *saveFlows != "" {
 		specs := cfg.FlowGen(rand.New(rand.NewSource(*seed ^ 0x5eed)))
-		f, err := os.Create(*saveTrace)
+		f, err := os.Create(*saveFlows)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecnsim:", err)
 			os.Exit(1)
@@ -154,9 +166,62 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("trace written to %s (%d flows)\n", *saveTrace, len(specs))
+		fmt.Printf("flows written to %s (%d flows)\n", *saveFlows, len(specs))
 		cfg.FlowGen = nil
 		cfg.Flows = specs
+	}
+
+	// Event tracing: one writer per run. Under -seeds/-parallel every job
+	// gets its own file named by its harness job id, so concurrent runs
+	// never interleave writes; the files are flushed after all runs finish.
+	var (
+		traceMu    sync.Mutex
+		traceFlush []func() error
+		tracePaths []string
+	)
+	if *traceFile != "" {
+		mask, err := trace.ParseMask(*traceEvents)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(2)
+		}
+		cfg.NewTracer = func(ctx context.Context, runSeed int64) trace.Tracer {
+			path := *traceFile
+			if len(seeds) > 1 {
+				id, ok := harness.JobID(ctx)
+				if !ok {
+					id = int(runSeed)
+				}
+				path = jobTracePath(path, id)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecnsim:", err)
+				return nil
+			}
+			var (
+				t     trace.Tracer
+				flush func() error
+			)
+			if strings.HasSuffix(path, ".csv") {
+				w := trace.NewCSVWriter(f)
+				t, flush = w, w.Flush
+			} else {
+				w := trace.NewJSONLWriter(f)
+				t, flush = w, w.Flush
+			}
+			traceMu.Lock()
+			traceFlush = append(traceFlush, func() error {
+				if err := flush(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			})
+			tracePaths = append(tracePaths, path)
+			traceMu.Unlock()
+			return trace.NewFilter(t, mask, *traceSample)
+		}
 	}
 
 	sc := experiments.Scale{Seeds: seeds, Parallel: *parallel, Timeout: *timeout}
@@ -167,6 +232,12 @@ func main() {
 		}
 	}
 	r := experiments.RunSeeds(sc, cfg)
+	for _, flush := range traceFlush {
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim: trace:", err)
+			os.Exit(1)
+		}
+	}
 	s := r.Stats
 	fmt.Printf("scheme    %s\n", scheme.Label)
 	fmt.Printf("workload  %s @ %.0f%% load, %d flows, RTT %v-%v\n",
@@ -181,4 +252,15 @@ func main() {
 	fmt.Printf("FCT large (>=10MB)   %10.1f us avg (%d flows)\n", s.LargeAvg, s.LargeCount)
 	fmt.Printf("\nswitch drops %d, CE marks %d, timeouts %d, retransmits %d\n",
 		r.Drops, r.Marks, r.Timeouts, r.Retransmits)
+	if len(tracePaths) > 0 {
+		sort.Strings(tracePaths)
+		fmt.Printf("event trace: %s\n", strings.Join(tracePaths, ", "))
+	}
+}
+
+// jobTracePath derives a per-job trace file name by inserting ".job<id>"
+// before the extension: run.jsonl -> run.job3.jsonl.
+func jobTracePath(path string, id int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.job%d%s", strings.TrimSuffix(path, ext), id, ext)
 }

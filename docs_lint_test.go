@@ -1,0 +1,180 @@
+// Documentation lints, run by the CI docs job: exported identifiers in the
+// observability-critical packages must carry godoc comments, and intra-repo
+// markdown links must resolve. Pure analysis — no simulation runs here.
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docAuditPackages are the packages whose godoc completeness is enforced
+// (the trace subsystem and the layers it instruments).
+var docAuditPackages = []string{
+	"internal/trace",
+	"internal/queue",
+	"internal/aqm",
+	"internal/harness",
+}
+
+// TestExportedDocComments fails for every exported top-level identifier in
+// the audited packages that lacks a doc comment, and for every single-name
+// declaration whose comment does not mention the identifier in its first
+// sentence (grouped const/var blocks may share one block comment).
+func TestExportedDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range docAuditPackages {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			auditFile(t, fset, path, f)
+		}
+	}
+}
+
+func auditFile(t *testing.T, fset *token.FileSet, path string, f *ast.File) {
+	t.Helper()
+	report := func(pos token.Pos, id, problem string) {
+		p := fset.Position(pos)
+		t.Errorf("%s:%d: exported %s %s", path, p.Line, id, problem)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			checkDoc(report, d.Pos(), d.Name.Name, d.Doc)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					doc := s.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					checkDoc(report, s.Pos(), s.Name.Name, doc)
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if !n.IsExported() {
+							continue
+						}
+						// A const/var group may share the block's comment.
+						if s.Doc == nil && s.Comment == nil && d.Doc == nil {
+							report(n.Pos(), n.Name, "has no doc comment")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the package's godoc).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if idx, ok := typ.(*ast.IndexExpr); ok {
+		typ = idx.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+// checkDoc enforces godoc style: a comment exists and its first sentence
+// names the identifier (leading articles allowed).
+func checkDoc(report func(token.Pos, string, string), pos token.Pos, name string, doc *ast.CommentGroup) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		report(pos, name, "has no doc comment")
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	for _, article := range []string{"A ", "An ", "The "} {
+		text = strings.TrimPrefix(text, article)
+	}
+	if !strings.HasPrefix(text, name) {
+		report(pos, name, "doc comment does not start with the identifier name")
+	}
+}
+
+// mdLink matches inline markdown links [text](target). Images and
+// reference-style links are out of scope.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks fails for every intra-repo markdown link whose target
+// file does not exist. External (http/mailto) and pure-anchor links are
+// skipped; anchors on file links are stripped (file existence only).
+func TestMarkdownLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", md, m[1], err)
+			}
+		}
+	}
+}

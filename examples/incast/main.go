@@ -6,17 +6,29 @@
 // Run with:
 //
 //	go run ./examples/incast
+//
+// With -trace, the ECN♯ run is repeated with an event tracer attached: the
+// full event stream goes to the given JSONL file and the ECN♯ marks on the
+// bottleneck port are replayed on stdout, showing Algorithm 1's
+// conservative cadence — the gap between consecutive persistent marks
+// shrinking as pst_interval/sqrt(count) while the standing queue persists:
+//
+//	go run ./examples/incast -trace incast.jsonl
 package main
 
 import (
+	"flag"
 	"fmt"
+	"math"
 	"math/rand"
+	"os"
 
 	"ecnsharp/internal/aqm"
 	"ecnsharp/internal/core"
 	"ecnsharp/internal/metrics"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
+	"ecnsharp/internal/trace"
 	"ecnsharp/internal/transport"
 	"ecnsharp/internal/workload"
 )
@@ -25,9 +37,16 @@ const (
 	senders  = 16
 	receiver = 16
 	fanout   = 120
+
+	rtt90       = 220 * sim.Microsecond
+	pstTarget   = 10 * sim.Microsecond
+	pstInterval = 240 * sim.Microsecond
 )
 
-func run(name string, newAQM func(int) aqm.AQM) {
+// run executes one incast under the given AQM; when tr is non-nil it is
+// attached to the whole network before any flow starts. It returns the
+// network so callers can locate the bottleneck port.
+func run(name string, newAQM func(int) aqm.AQM, tr trace.Tracer) *topology.Net {
 	eng := sim.NewEngine()
 	net := topology.Star(eng, senders+1, topology.Options{
 		Link: topology.LinkParams{
@@ -37,6 +56,9 @@ func run(name string, newAQM func(int) aqm.AQM) {
 		},
 		NewAQM: newAQM,
 	})
+	if tr != nil {
+		net.AttachTracer(tr)
+	}
 
 	cfg := transport.DefaultConfig()
 	cfg.InitCwndSegments = 2
@@ -70,6 +92,7 @@ func run(name string, newAQM func(int) aqm.AQM) {
 	s := collector.Stats()
 	fmt.Printf("%-10s drops %4d | query FCT avg %7.1f us p99 %7.1f us (%d/%d done)\n",
 		name, eg.Drops, s.QueryAvg, s.QueryP99, s.QueryCount, fanout)
+	return net
 }
 
 func repeat(hosts, n int) []int {
@@ -80,21 +103,95 @@ func repeat(hosts, n int) []int {
 	return out
 }
 
+func newECNSharp(int) aqm.AQM {
+	return aqm.MustNewECNSharp(core.Params{
+		InsTarget:   rtt90,
+		PstTarget:   pstTarget,
+		PstInterval: pstInterval,
+	})
+}
+
+// tracedRun repeats the ECN♯ incast with a tracer attached: the full event
+// stream goes to path as JSONL, while a ring recorder keeps the mark events
+// for the cadence replay below.
+func tracedRun(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(1)
+	}
+	jsonl := trace.NewJSONLWriter(f)
+	marks := trace.NewRingRecorder(1 << 16).SetMask(trace.MaskOf(trace.ECNMark))
+
+	fmt.Println()
+	net := run("ECN# (traced)", newECNSharp, trace.NewTee(jsonl, marks))
+	if err := jsonl.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("\nfull event trace written to %s\n", path)
+
+	reportCadence(marks.Events(), net.PortTo(receiver))
+}
+
+// reportCadence replays the bottleneck port's persistent marks, printing
+// the interval to the previous one next to Algorithm 1's scheduled
+// pst_interval/sqrt(count) — the shrinking cadence of §3.3.
+func reportCadence(events []trace.Event, port int) {
+	var inst, pst int
+	var pstAts []int64
+	for _, e := range events {
+		if e.Port != port {
+			continue
+		}
+		switch e.Mark {
+		case trace.MarkInstantaneous:
+			inst++
+		case trace.MarkPersistent:
+			pst++
+			pstAts = append(pstAts, e.At)
+		}
+	}
+	fmt.Printf("bottleneck port %d: %d instantaneous marks, %d persistent marks\n",
+		port, inst, pst)
+	if len(pstAts) < 2 {
+		return
+	}
+
+	fmt.Println("\npersistent-marking cadence (Algorithm 1):")
+	fmt.Println("   k        t (ms)   gap to prev   pst_interval/sqrt(k)")
+	show := len(pstAts)
+	if show > 12 {
+		show = 12
+	}
+	for k := 1; k < show; k++ {
+		gap := sim.Time(pstAts[k] - pstAts[k-1])
+		sched := sim.Time(float64(pstInterval) / math.Sqrt(float64(k+1)))
+		fmt.Printf("  %2d  %12.3f  %12v  %12v\n",
+			k+1, sim.Time(pstAts[k]).Seconds()*1e3, gap, sched)
+	}
+	if show < len(pstAts) {
+		fmt.Printf("  ... %d more persistent marks\n", len(pstAts)-show)
+	}
+	fmt.Println("\nthe gap tracks the shrinking schedule while the standing queue persists")
+}
+
 func main() {
+	tracePath := flag.String("trace", "", "repeat the ECN# run traced, writing a JSONL event trace to this file")
+	flag.Parse()
+
 	fmt.Printf("incast: %d concurrent query flows into one 10G port, 600-packet buffer\n\n", fanout)
-	rtt90 := 220 * sim.Microsecond
 	run("RED-Tail", func(int) aqm.AQM {
 		return aqm.NewREDInstantBytes(core.ThresholdBytes(1, topology.TenGbps, rtt90))
-	})
+	}, nil)
 	run("CoDel", func(int) aqm.AQM {
 		return aqm.NewCoDel(10*sim.Microsecond, 240*sim.Microsecond)
-	})
-	run("ECN#", func(int) aqm.AQM {
-		return aqm.MustNewECNSharp(core.Params{
-			InsTarget:   rtt90,
-			PstTarget:   10 * sim.Microsecond,
-			PstInterval: 240 * sim.Microsecond,
-		})
-	})
+	}, nil)
+	run("ECN#", newECNSharp, nil)
 	fmt.Println("\nCoDel should drop packets; ECN# and RED-Tail should not.")
+
+	if *tracePath != "" {
+		tracedRun(*tracePath)
+	}
 }

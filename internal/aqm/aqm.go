@@ -16,6 +16,7 @@ package aqm
 import (
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // Backlog describes the instantaneous queue state at enqueue time,
@@ -35,6 +36,17 @@ type AQM interface {
 	Name() string
 	OnEnqueue(now sim.Time, p *packet.Packet, b Backlog) bool
 	OnDequeue(now sim.Time, p *packet.Packet, sojourn sim.Time) bool
+}
+
+// MarkKinder is an optional interface an AQM implements to attribute its
+// marks for tracing: after OnEnqueue or OnDequeue returns true,
+// LastMarkKind reports which condition decided that mark (instantaneous,
+// persistent, or probabilistic). The queue layer type-asserts once at
+// construction and calls LastMarkKind only for packets actually marked, so
+// schemes with a single marking condition can return a constant. AQMs that
+// do not implement it have their marks traced as trace.MarkUnknown.
+type MarkKinder interface {
+	LastMarkKind() trace.MarkKind
 }
 
 // Nop performs no marking (plain tail-drop FIFO behaviour).

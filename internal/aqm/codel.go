@@ -6,6 +6,7 @@ import (
 
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // CoDel is the Controlling-Queue-Delay AQM (Nichols & Jacobson, 2012)
@@ -48,6 +49,10 @@ func (c *CoDel) Name() string {
 
 // Marks returns how many packets this AQM marked.
 func (c *CoDel) Marks() int64 { return c.marks }
+
+// LastMarkKind implements MarkKinder: every CoDel mark comes from the
+// persistent-congestion control law (CoDel has no instantaneous component).
+func (*CoDel) LastMarkKind() trace.MarkKind { return trace.MarkPersistent }
 
 // OnEnqueue never marks; CoDel is a dequeue-side scheme.
 func (*CoDel) OnEnqueue(sim.Time, *packet.Packet, Backlog) bool { return false }

@@ -6,13 +6,15 @@ import (
 	"ecnsharp/internal/core"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // ECNSharp adapts the reference core.ECNSharp state machine to the queue
 // AQM interface. It is a pure dequeue-side scheme: both the instantaneous
 // and persistent conditions act on the departing packet's sojourn time.
 type ECNSharp struct {
-	core *core.ECNSharp
+	core     *core.ECNSharp
+	lastKind trace.MarkKind
 }
 
 // NewECNSharp builds an ECN♯ AQM with the given parameters.
@@ -48,5 +50,18 @@ func (*ECNSharp) OnEnqueue(sim.Time, *packet.Packet, Backlog) bool { return fals
 
 // OnDequeue marks per the combined instantaneous + persistent decision.
 func (e *ECNSharp) OnDequeue(now sim.Time, _ *packet.Packet, sojourn sim.Time) bool {
-	return e.core.ShouldMark(now, sojourn) != core.NotMarked
+	switch e.core.ShouldMark(now, sojourn) {
+	case core.MarkInstantaneous:
+		e.lastKind = trace.MarkInstantaneous
+		return true
+	case core.MarkPersistent:
+		e.lastKind = trace.MarkPersistent
+		return true
+	default:
+		return false
+	}
 }
+
+// LastMarkKind implements MarkKinder: it attributes the most recent mark to
+// the instantaneous or the persistent condition of ECN♯.
+func (e *ECNSharp) LastMarkKind() trace.MarkKind { return e.lastKind }

@@ -7,6 +7,7 @@ import (
 	"ecnsharp/internal/core"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // ECNSharpProb is the §3.5 extension sketch: ECN♯ for transports that
@@ -28,6 +29,7 @@ type ECNSharpProb struct {
 	rng  *rand.Rand
 
 	instMarks int64
+	lastKind  trace.MarkKind
 }
 
 // NewECNSharpProb builds the probabilistic variant. The persistent
@@ -69,10 +71,18 @@ func (e *ECNSharpProb) OnDequeue(now sim.Time, _ *packet.Packet, sojourn sim.Tim
 	persistent := e.core.PersistentMark(now, sojourn)
 	if inst := e.rampMark(sojourn); inst {
 		e.instMarks++
+		e.lastKind = trace.MarkProbabilistic
 		return true
+	}
+	if persistent {
+		e.lastKind = trace.MarkPersistent
 	}
 	return persistent
 }
+
+// LastMarkKind implements MarkKinder: it attributes the most recent mark to
+// the probabilistic ramp or to Algorithm 1's persistent condition.
+func (e *ECNSharpProb) LastMarkKind() trace.MarkKind { return e.lastKind }
 
 // rampMark applies the RED-style probability curve to the sojourn time.
 func (e *ECNSharpProb) rampMark(sojourn sim.Time) bool {

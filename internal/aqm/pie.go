@@ -6,6 +6,7 @@ import (
 
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // PIE is the Proportional-Integral controller Enhanced AQM (Pan et al.,
@@ -66,6 +67,10 @@ func (p *PIE) Marks() int64 { return p.marks }
 
 // Prob returns the current marking probability (for tests).
 func (p *PIE) Prob() float64 { return p.prob }
+
+// LastMarkKind implements MarkKinder: PIE marks with the controller's
+// current probability.
+func (*PIE) LastMarkKind() trace.MarkKind { return trace.MarkProbabilistic }
 
 // OnEnqueue marks with the current probability.
 func (p *PIE) OnEnqueue(now sim.Time, _ *packet.Packet, _ Backlog) bool {

@@ -6,6 +6,7 @@ import (
 
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // REDInstant is the DCTCP-modified RED the paper calls DCTCP-RED:
@@ -39,6 +40,7 @@ const (
 	SojournTime
 )
 
+// String returns the mode's short label ("qlen" or "sojourn").
 func (m SignalMode) String() string {
 	if m == QueueBytes {
 		return "qlen"
@@ -61,6 +63,10 @@ func (r *REDInstant) Name() string { return r.label }
 
 // Marks returns how many packets this AQM marked.
 func (r *REDInstant) Marks() int64 { return r.marks }
+
+// LastMarkKind implements MarkKinder: DCTCP-RED's single cut-off threshold
+// is an instantaneous condition in both signal modes.
+func (*REDInstant) LastMarkKind() trace.MarkKind { return trace.MarkInstantaneous }
 
 // OnEnqueue marks when the instantaneous queue length (including this
 // packet) exceeds K, in queue-length mode.
@@ -108,6 +114,10 @@ func (t *TCN) Name() string { return fmt.Sprintf("tcn(T=%v)", t.Threshold) }
 // Marks returns how many packets this AQM marked.
 func (t *TCN) Marks() int64 { return t.marks }
 
+// LastMarkKind implements MarkKinder: TCN marks on the instantaneous
+// sojourn time only.
+func (*TCN) LastMarkKind() trace.MarkKind { return trace.MarkInstantaneous }
+
 // OnEnqueue never marks; TCN is a dequeue-side scheme.
 func (*TCN) OnEnqueue(sim.Time, *packet.Packet, Backlog) bool { return false }
 
@@ -154,6 +164,10 @@ func (r *RED) Name() string {
 
 // Marks returns how many packets this AQM marked.
 func (r *RED) Marks() int64 { return r.marks }
+
+// LastMarkKind implements MarkKinder: every RED mark is a draw from the
+// probabilistic marking curve.
+func (*RED) LastMarkKind() trace.MarkKind { return trace.MarkProbabilistic }
 
 // OnEnqueue applies the RED marking curve to the instantaneous backlog.
 func (r *RED) OnEnqueue(_ sim.Time, p *packet.Packet, b Backlog) bool {

@@ -14,6 +14,7 @@ import (
 	"ecnsharp/internal/rttvar"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
+	"ecnsharp/internal/trace"
 	"ecnsharp/internal/transport"
 	"ecnsharp/internal/workload"
 )
@@ -82,6 +83,15 @@ type RunConfig struct {
 	// ClassOf assigns a service class per flow index (Figure 13); nil
 	// means class 0.
 	ClassOf func(i int, f workload.FlowSpec) int
+
+	// NewTracer, when non-nil, builds the run's event tracer: it is called
+	// once per run (so once per seed under RunAll) with the run's context —
+	// carrying the harness job id under -parallel — and seed, and the
+	// returned tracer is attached to the whole network before any flow
+	// starts. Returning nil leaves the run untraced. Flushing or closing
+	// whatever the tracer writes to remains the caller's responsibility
+	// after the runs complete.
+	NewTracer func(ctx context.Context, seed int64) trace.Tracer
 
 	// SampleQueueOf, when >= 0, samples the last-hop egress to that host
 	// every SampleInterval during [SampleStart, SampleEnd].
@@ -196,6 +206,12 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		net = topology.LeafSpine(eng, cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf, opts)
 	default:
 		panic(fmt.Sprintf("experiments: unknown topology %d", cfg.Topo))
+	}
+
+	if cfg.NewTracer != nil {
+		if tr := cfg.NewTracer(ctx, cfg.Seed); tr != nil {
+			net.AttachTracer(tr)
+		}
 	}
 
 	var assigner *rttvar.Assigner

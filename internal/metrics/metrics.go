@@ -8,6 +8,7 @@ import (
 	"ecnsharp/internal/dist"
 	"ecnsharp/internal/queue"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // Flow size class boundaries used throughout the evaluation (§5.1).
@@ -136,6 +137,12 @@ func NewQueueSampler(eng *sim.Engine, eg *queue.Egress, start, end, interval sim
 	var tick func()
 	tick = func() {
 		s.Samples = append(s.Samples, QueueSample{At: eng.Now(), Packets: eg.Len(), Bytes: eg.Bytes()})
+		if tr := eng.Tracer(); tr != nil {
+			now := eng.Now()
+			tr.Trace(trace.Event{Type: trace.SojournSample, At: int64(now),
+				Port: eg.TracePort(), Queue: -1, Src: -1, Dst: -1,
+				Dur: int64(eg.HeadAge(now)), QueuePackets: eg.Len(), QueueBytes: eg.Bytes()})
+		}
 		if eng.Now()+interval <= end {
 			eng.After(interval, tick)
 		}

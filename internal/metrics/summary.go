@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"ecnsharp/internal/asciiplot"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
+)
+
+// PortSeries is the per-port aggregation a SummaryTracer builds: event
+// counters broken down by mark kind plus an occupancy time series in the
+// same QueueSample shape the rest of the metrics package uses.
+type PortSeries struct {
+	// Port is the SwitchPorts index the events carried.
+	Port int
+
+	// Enqueued, Dequeued and Drops count the port's packet events.
+	Enqueued int64
+	Dequeued int64
+	Drops    int64
+
+	// InstMarks, PstMarks, ProbMarks and OtherMarks count ECNMark events by
+	// attributed kind (OtherMarks collects trace.MarkUnknown).
+	InstMarks  int64
+	PstMarks   int64
+	ProbMarks  int64
+	OtherMarks int64
+
+	// MaxPackets and MaxBytes are the peak occupancy observed in any event.
+	MaxPackets int
+	MaxBytes   int64
+
+	// Samples is the occupancy series, decimated so consecutive points are
+	// at least the tracer's MinGap apart. It is directly consumable by the
+	// same plotting code as QueueSampler.Samples.
+	Samples []QueueSample
+
+	lastSample sim.Time
+	hasSample  bool
+}
+
+// Marks returns the total ECNMark events of all kinds.
+func (p *PortSeries) Marks() int64 {
+	return p.InstMarks + p.PstMarks + p.ProbMarks + p.OtherMarks
+}
+
+// SummaryTracer folds the event stream into per-port time series and
+// counters as the simulation runs, so a traced run can render Figure 10
+// style occupancy plots without retaining the raw event log. It observes
+// queue events only (enqueue, dequeue, drop, mark, sojourn samples);
+// host-side events pass through untouched.
+type SummaryTracer struct {
+	// MinGap is the minimum spacing between retained occupancy samples per
+	// port; zero retains a sample per event (unbounded memory on long runs —
+	// set a gap for anything beyond a microbenchmark).
+	MinGap sim.Time
+
+	ports map[int]*PortSeries
+}
+
+// NewSummaryTracer builds a summary tracer whose occupancy series keep at
+// most one point per minGap of simulated time per port.
+func NewSummaryTracer(minGap sim.Time) *SummaryTracer {
+	return &SummaryTracer{MinGap: minGap, ports: make(map[int]*PortSeries)}
+}
+
+// Trace implements trace.Tracer by folding the event into the per-port
+// aggregates.
+func (s *SummaryTracer) Trace(e trace.Event) {
+	switch e.Type {
+	case trace.Enqueue, trace.Dequeue, trace.Drop, trace.ECNMark, trace.SojournSample:
+	default:
+		return
+	}
+	p := s.ports[e.Port]
+	if p == nil {
+		p = &PortSeries{Port: e.Port}
+		s.ports[e.Port] = p
+	}
+	switch e.Type {
+	case trace.Enqueue:
+		p.Enqueued++
+	case trace.Dequeue:
+		p.Dequeued++
+	case trace.Drop:
+		p.Drops++
+	case trace.ECNMark:
+		switch e.Mark {
+		case trace.MarkInstantaneous:
+			p.InstMarks++
+		case trace.MarkPersistent:
+			p.PstMarks++
+		case trace.MarkProbabilistic:
+			p.ProbMarks++
+		default:
+			p.OtherMarks++
+		}
+	}
+	if e.QueuePackets > p.MaxPackets {
+		p.MaxPackets = e.QueuePackets
+	}
+	if e.QueueBytes > p.MaxBytes {
+		p.MaxBytes = e.QueueBytes
+	}
+	at := sim.Time(e.At)
+	if !p.hasSample || at-p.lastSample >= s.MinGap {
+		p.Samples = append(p.Samples, QueueSample{At: at, Packets: e.QueuePackets, Bytes: e.QueueBytes})
+		p.lastSample = at
+		p.hasSample = true
+	}
+}
+
+// Ports returns the observed port ids in ascending order.
+func (s *SummaryTracer) Ports() []int {
+	ids := make([]int, 0, len(s.ports))
+	for id := range s.ports {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Port returns the aggregation for one port id, or nil if no event for it
+// was observed.
+func (s *SummaryTracer) Port(id int) *PortSeries { return s.ports[id] }
+
+// OccupancyPlot renders one port's occupancy series (packets over
+// milliseconds) as an ASCII chart; it returns "" when the port was never
+// observed.
+func (s *SummaryTracer) OccupancyPlot(port, width, height int) string {
+	p := s.ports[port]
+	if p == nil || len(p.Samples) == 0 {
+		return ""
+	}
+	xs := make([]float64, len(p.Samples))
+	ys := make([]float64, len(p.Samples))
+	for i, smp := range p.Samples {
+		xs[i] = smp.At.Seconds() * 1e3
+		ys[i] = float64(smp.Packets)
+	}
+	return asciiplot.Render([]asciiplot.Series{{
+		Name: fmt.Sprintf("port %d queue", port), X: xs, Y: ys,
+	}}, asciiplot.Options{Width: width, Height: height, XLabel: "ms", YLabel: "pkts"})
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
+)
+
+func qev(typ trace.Type, kind trace.MarkKind, at sim.Time, port, pkts int, bytes int64) trace.Event {
+	return trace.Event{Type: typ, Mark: kind, At: int64(at), Port: port,
+		QueuePackets: pkts, QueueBytes: bytes}
+}
+
+func TestSummaryTracerCounters(t *testing.T) {
+	s := NewSummaryTracer(0)
+	s.Trace(qev(trace.Enqueue, trace.MarkUnknown, 0, 3, 1, 1500))
+	s.Trace(qev(trace.Enqueue, trace.MarkUnknown, 1, 3, 2, 3000))
+	s.Trace(qev(trace.Dequeue, trace.MarkUnknown, 2, 3, 1, 1500))
+	s.Trace(qev(trace.Drop, trace.MarkUnknown, 3, 3, 1, 1500))
+	s.Trace(qev(trace.ECNMark, trace.MarkInstantaneous, 4, 3, 1, 1500))
+	s.Trace(qev(trace.ECNMark, trace.MarkInstantaneous, 5, 3, 1, 1500))
+	s.Trace(qev(trace.ECNMark, trace.MarkPersistent, 6, 3, 1, 1500))
+	s.Trace(qev(trace.ECNMark, trace.MarkProbabilistic, 7, 3, 1, 1500))
+	s.Trace(qev(trace.ECNMark, trace.MarkUnknown, 8, 3, 1, 1500))
+	s.Trace(qev(trace.Enqueue, trace.MarkUnknown, 9, 7, 5, 7500))
+	// Host-side events carry Port -1 and must not create a port series.
+	s.Trace(trace.Event{Type: trace.CwndUpdate, Port: -1, Value: 10})
+
+	if got := s.Ports(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Ports() = %v, want [3 7]", got)
+	}
+	if s.Port(5) != nil {
+		t.Error("Port(5) non-nil for unobserved port")
+	}
+	p := s.Port(3)
+	if p.Enqueued != 2 || p.Dequeued != 1 || p.Drops != 1 {
+		t.Errorf("counters: %+v", p)
+	}
+	if p.InstMarks != 2 || p.PstMarks != 1 || p.ProbMarks != 1 || p.OtherMarks != 1 {
+		t.Errorf("mark breakdown: %+v", p)
+	}
+	if p.Marks() != 5 {
+		t.Errorf("Marks() = %d, want 5", p.Marks())
+	}
+	if p.MaxPackets != 2 || p.MaxBytes != 3000 {
+		t.Errorf("peaks: %d pkts / %d bytes, want 2/3000", p.MaxPackets, p.MaxBytes)
+	}
+}
+
+func TestSummaryTracerDecimation(t *testing.T) {
+	s := NewSummaryTracer(10 * sim.Microsecond)
+	for _, at := range []sim.Time{0, 5 * sim.Microsecond, 9 * sim.Microsecond,
+		10 * sim.Microsecond, 25 * sim.Microsecond} {
+		s.Trace(qev(trace.Enqueue, trace.MarkUnknown, at, 0, 1, 1500))
+	}
+	p := s.Port(0)
+	if len(p.Samples) != 3 {
+		t.Fatalf("kept %d samples, want 3 (0, 10µs, 25µs)", len(p.Samples))
+	}
+	if p.Samples[1].At != 10*sim.Microsecond || p.Samples[2].At != 25*sim.Microsecond {
+		t.Errorf("sample times: %v, %v", p.Samples[1].At, p.Samples[2].At)
+	}
+	// All five events still count even when their samples are decimated.
+	if p.Enqueued != 5 {
+		t.Errorf("Enqueued = %d, want 5", p.Enqueued)
+	}
+}
+
+func TestSummaryTracerOccupancyPlot(t *testing.T) {
+	s := NewSummaryTracer(0)
+	for i := 0; i < 50; i++ {
+		at := sim.Time(i) * sim.Microsecond
+		s.Trace(qev(trace.Enqueue, trace.MarkUnknown, at, 2, i, int64(i)*1500))
+	}
+	plot := s.OccupancyPlot(2, 60, 10)
+	if plot == "" {
+		t.Fatal("empty plot for an observed port")
+	}
+	if !strings.Contains(plot, "pkts") || !strings.Contains(plot, "ms") {
+		t.Errorf("plot lacks axis labels:\n%s", plot)
+	}
+	if s.OccupancyPlot(9, 60, 10) != "" {
+		t.Error("plot for an unobserved port")
+	}
+}

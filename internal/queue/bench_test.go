@@ -6,6 +6,7 @@ import (
 	"ecnsharp/internal/aqm"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 func benchPacket() *packet.Packet {
@@ -32,6 +33,29 @@ func BenchmarkEgressFIFO(b *testing.B) {
 	eg := NewEgress(1, nil, 0, func(int) aqm.AQM {
 		return aqm.NewREDInstantSojourn(100 * sim.Microsecond)
 	})
+	b.ReportAllocs()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += 1200
+		eg.Enqueue(now, benchPacket())
+		if eg.Len() > 256 {
+			for eg.Len() > 32 {
+				eg.Dequeue(now)
+			}
+		}
+	}
+}
+
+// BenchmarkEgressFIFOTracedNop measures the same path as BenchmarkEgressFIFO
+// with a no-op tracer attached: the full cost of event construction and the
+// interface call, without any consumer work. Compare against the untraced
+// benchmark to see the instrumentation ceiling; a nil tracer (the default)
+// costs only the branch.
+func BenchmarkEgressFIFOTracedNop(b *testing.B) {
+	eg := NewEgress(1, nil, 0, func(int) aqm.AQM {
+		return aqm.NewREDInstantSojourn(100 * sim.Microsecond)
+	})
+	eg.SetTracer(trace.Nop{}, 0)
 	b.ReportAllocs()
 	now := sim.Time(0)
 	for i := 0; i < b.N; i++ {

@@ -6,6 +6,7 @@ import (
 	"ecnsharp/internal/aqm"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // Egress is one output port's buffering: a set of service queues sharing a
@@ -33,6 +34,13 @@ type Egress struct {
 
 	bytes int64
 
+	// Tracing. tracer is nil unless attached via SetTracer, so untraced
+	// runs pay one nil check per enqueue/dequeue; kinds caches which AQMs
+	// can attribute their marks (one type assertion at construction).
+	tracer trace.Tracer
+	port   int
+	kinds  []aqm.MarkKinder
+
 	// Counters.
 	Enqueued  int64
 	Dequeued  int64
@@ -54,8 +62,10 @@ func NewEgress(n int, sched Scheduler, bufferBytes int64, aqmFor func(i int) aqm
 	e := &Egress{
 		queues:      make([]*FIFO, n),
 		aqms:        make([]aqm.AQM, n),
+		kinds:       make([]aqm.MarkKinder, n),
 		sched:       sched,
 		BufferBytes: bufferBytes,
+		port:        -1,
 	}
 	for i := range e.queues {
 		e.queues[i] = NewFIFO()
@@ -65,8 +75,68 @@ func NewEgress(n int, sched Scheduler, bufferBytes int64, aqmFor func(i int) aqm
 		if e.aqms[i] == nil {
 			e.aqms[i] = aqm.Nop{}
 		}
+		if k, ok := e.aqms[i].(aqm.MarkKinder); ok {
+			e.kinds[i] = k
+		}
 	}
 	return e
+}
+
+// SetTracer attaches t as this port's event observer; port is the id
+// reported in every emitted event (topology.Net.AttachTracer numbers
+// switch ports by their SwitchPorts index). A nil t detaches and restores
+// the zero-cost path.
+func (e *Egress) SetTracer(t trace.Tracer, port int) {
+	e.tracer = t
+	e.port = port
+}
+
+// TracePort returns the port id assigned at SetTracer time (-1 when no
+// tracer was ever attached); samplers use it to label their own events
+// consistently with the queue's.
+func (e *Egress) TracePort() int { return e.port }
+
+// HeadAge returns the sojourn time, as of now, of the oldest head-of-line
+// packet across the service queues (zero when all queues are idle). It is
+// the instantaneous queueing-delay signal a SojournSample event carries.
+func (e *Egress) HeadAge(now sim.Time) sim.Time {
+	var oldest sim.Time
+	for _, q := range e.queues {
+		if p := q.Peek(); p != nil {
+			if age := p.SojournTime(now); age > oldest {
+				oldest = age
+			}
+		}
+	}
+	return oldest
+}
+
+// emit builds and delivers one queue-layer event. Callers must have checked
+// e.tracer != nil so that untraced runs never reach the event construction.
+func (e *Egress) emit(typ trace.Type, kind trace.MarkKind, now sim.Time, qi int, p *packet.Packet, sojourn sim.Time) {
+	e.tracer.Trace(trace.Event{
+		Type:         typ,
+		Mark:         kind,
+		At:           int64(now),
+		Port:         e.port,
+		Queue:        qi,
+		FlowID:       p.FlowID,
+		Src:          p.Src,
+		Dst:          p.Dst,
+		Seq:          p.Seq,
+		Size:         int64(p.Size()),
+		Dur:          int64(sojourn),
+		QueuePackets: e.Len(),
+		QueueBytes:   e.bytes,
+	})
+}
+
+// markKind attributes a mark applied by queue qi's AQM.
+func (e *Egress) markKind(qi int) trace.MarkKind {
+	if k := e.kinds[qi]; k != nil {
+		return k.LastMarkKind()
+	}
+	return trace.MarkUnknown
 }
 
 // NumQueues implements View.
@@ -127,17 +197,24 @@ func (e *Egress) Enqueue(now sim.Time, p *packet.Packet) bool {
 		if !e.Pool.admit(e.bytes, p.Size()) {
 			e.Drops++
 			e.DropBytes += int64(p.Size())
+			if e.tracer != nil {
+				e.emit(trace.Drop, trace.MarkUnknown, now, e.classQueue(p), p, 0)
+			}
 			return false
 		}
 	} else if e.BufferBytes > 0 && e.bytes+int64(p.Size()) > e.BufferBytes {
 		e.Drops++
 		e.DropBytes += int64(p.Size())
+		if e.tracer != nil {
+			e.emit(trace.Drop, trace.MarkUnknown, now, e.classQueue(p), p, 0)
+		}
 		return false
 	}
 	qi := e.classQueue(p)
 	q := e.queues[qi]
 	backlog := aqm.Backlog{Bytes: q.Bytes(), Packets: q.Len()}
-	if e.aqms[qi].OnEnqueue(now, p, backlog) && p.ECN == packet.ECT {
+	marked := e.aqms[qi].OnEnqueue(now, p, backlog) && p.ECN == packet.ECT
+	if marked {
 		p.ECN = packet.CE
 		e.EnqMarks++
 	}
@@ -145,6 +222,12 @@ func (e *Egress) Enqueue(now sim.Time, p *packet.Packet) bool {
 	q.Push(p)
 	e.bytes += int64(p.Size())
 	e.Enqueued++
+	if e.tracer != nil {
+		e.emit(trace.Enqueue, trace.MarkUnknown, now, qi, p, 0)
+		if marked {
+			e.emit(trace.ECNMark, e.markKind(qi), now, qi, p, 0)
+		}
+	}
 	return true
 }
 
@@ -170,9 +253,16 @@ func (e *Egress) Dequeue(now sim.Time) *packet.Packet {
 	if sojourn < 0 {
 		panic("queue: negative sojourn time")
 	}
-	if e.aqms[qi].OnDequeue(now, p, sojourn) && p.ECN == packet.ECT {
+	marked := e.aqms[qi].OnDequeue(now, p, sojourn) && p.ECN == packet.ECT
+	if marked {
 		p.ECN = packet.CE
 		e.DeqMarks++
+	}
+	if e.tracer != nil {
+		e.emit(trace.Dequeue, trace.MarkUnknown, now, qi, p, sojourn)
+		if marked {
+			e.emit(trace.ECNMark, e.markKind(qi), now, qi, p, sojourn)
+		}
 	}
 	return p
 }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"ecnsharp/internal/trace"
 )
 
 // Time is a simulation timestamp in nanoseconds since the start of the run.
@@ -109,6 +111,7 @@ type Engine struct {
 	seq     uint64
 	queue   eventHeap
 	stopped bool
+	tracer  trace.Tracer
 	// Processed counts events executed; useful for progress reporting and
 	// runaway detection in tests.
 	Processed uint64
@@ -119,6 +122,19 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTracer attaches t as the engine-wide event observer. Components that
+// hold the engine (transports, samplers) emit their trace events through it,
+// timestamped with the engine clock; nil (the default) disables tracing, and
+// emission sites pay only a nil check. The switch queue layer is attached
+// separately per port (see topology.Net.AttachTracer), since a queue event
+// also carries the port identity.
+func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+// Emitters must check for nil before building an event so that the disabled
+// path does no work.
+func (e *Engine) Tracer() trace.Tracer { return e.tracer }
 
 // Len returns the number of queued events. Canceled events count until
 // they are lazily drained from the heap, so Len is an upper bound on the

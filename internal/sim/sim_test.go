@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"ecnsharp/internal/trace"
 )
 
 func TestTimeConversions(t *testing.T) {
@@ -285,5 +287,21 @@ func TestEngineRunChunkStopped(t *testing.T) {
 	eng.AdvanceTo(Second)
 	if eng.Now() != 0 {
 		t.Errorf("AdvanceTo advanced a stopped engine to %v", eng.Now())
+	}
+}
+
+func TestEngineTracer(t *testing.T) {
+	eng := NewEngine()
+	if eng.Tracer() != nil {
+		t.Error("fresh engine has a tracer")
+	}
+	tr := trace.Nop{}
+	eng.SetTracer(tr)
+	if eng.Tracer() != tr {
+		t.Error("Tracer() did not return the attached tracer")
+	}
+	eng.SetTracer(nil)
+	if eng.Tracer() != nil {
+		t.Error("SetTracer(nil) did not detach")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"ecnsharp/internal/device"
 	"ecnsharp/internal/queue"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // LinkParams describes one direction of a link.
@@ -61,6 +62,32 @@ type Net struct {
 	// hostPorts[h] is the switch egress port that delivers to host h
 	// (the port whose queue is the bottleneck in star experiments).
 	hostPorts map[int]*device.Port
+}
+
+// AttachTracer attaches t to the whole network: to the engine (whose
+// tracer the transport endpoints and samplers emit through) and to every
+// switch egress port, each identified by its index in SwitchPorts — so the
+// Port field of a queue event indexes directly into SwitchPorts. A nil t
+// detaches everything and restores the untraced fast path. Host NIC queues
+// are not traced: in the paper's setups they never mark or drop.
+func (n *Net) AttachTracer(t trace.Tracer) {
+	n.Engine.SetTracer(t)
+	for i, p := range n.SwitchPorts {
+		p.Egress.SetTracer(t, i)
+	}
+}
+
+// PortTo returns the SwitchPorts index of the last-hop egress port feeding
+// host id — the Port value its queue events carry once a tracer is
+// attached — or -1 when that port is not a switch port.
+func (n *Net) PortTo(host int) int {
+	eg := n.EgressTo(host)
+	for i, p := range n.SwitchPorts {
+		if p == eg {
+			return i
+		}
+	}
+	return -1
 }
 
 // TotalDrops sums tail drops across all switch egress ports.

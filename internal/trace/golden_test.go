@@ -1,0 +1,108 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/trace"
+	"ecnsharp/internal/transport"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace file")
+
+// goldenIncast runs a small fixed incast under ECN♯ and returns the JSONL
+// event trace, filtered to mark and flow events. The scenario is fully
+// deterministic (no randomness anywhere), so the bytes must be identical on
+// every run — that is the property the trace format promises and this test
+// pins, together with the presence of both marking regimes: persistent
+// marks from the long-lived flows' standing queue (Algorithm 1) and
+// instantaneous marks from the query burst.
+func goldenIncast(t *testing.T) []byte {
+	t.Helper()
+	eng := sim.NewEngine()
+	const receiver = 4
+	net := topology.Star(eng, receiver+1, topology.Options{
+		Link: topology.LinkParams{
+			RateBps:     topology.TenGbps,
+			PropDelay:   sim.Microsecond,
+			BufferBytes: 600 * 1500,
+		},
+		NewAQM: func(int) aqm.AQM {
+			return aqm.MustNewECNSharp(core.Params{
+				InsTarget:   220 * sim.Microsecond,
+				PstTarget:   10 * sim.Microsecond,
+				PstInterval: 240 * sim.Microsecond,
+			})
+		},
+	})
+
+	var buf bytes.Buffer
+	w := trace.NewJSONLWriter(&buf)
+	mask := trace.MaskOf(trace.ECNMark, trace.Drop, trace.FlowStart, trace.FlowFinish)
+	net.AttachTracer(trace.NewFilter(w, mask, 1))
+
+	cfg := transport.DefaultConfig()
+	cfg.InitCwndSegments = 2
+	// Two long-lived flows build the standing queue that triggers
+	// Algorithm 1; four queries burst into it at 1.5ms.
+	for i := 0; i < 2; i++ {
+		transport.StartFlow(eng, cfg, net.Host(i), net.Host(receiver),
+			uint64(i+1), 1<<30, 0, nil)
+	}
+	for i := 0; i < 4; i++ {
+		transport.StartFlow(eng, cfg, net.Host(i), net.Host(receiver),
+			uint64(100+i), 30_000, 1500*sim.Microsecond+sim.Time(i)*10*sim.Microsecond, nil)
+	}
+	eng.RunUntil(3 * sim.Millisecond)
+
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenIncastTrace(t *testing.T) {
+	got := goldenIncast(t)
+
+	// Same seed (here: no randomness at all) must give byte-identical output.
+	if again := goldenIncast(t); !bytes.Equal(got, again) {
+		t.Fatal("two identical runs produced different traces")
+	}
+	// Both of ECN♯'s marking regimes must appear.
+	for _, kind := range []string{`"kind":"instantaneous"`, `"kind":"persistent"`} {
+		if !bytes.Contains(got, []byte(kind)) {
+			t.Errorf("trace contains no %s mark", kind)
+		}
+	}
+
+	golden := filepath.Join("testdata", "incast_trace.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -run TestGoldenIncastTrace -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n got %s\nwant %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace length differs from golden: got %d lines, want %d", len(gl), len(wl))
+	}
+}

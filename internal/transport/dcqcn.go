@@ -6,6 +6,7 @@ import (
 	"ecnsharp/internal/device"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // DCQCN-lite: a rate-based sender in the style of DCQCN (Zhu et al.,
@@ -163,8 +164,23 @@ func (s *DCQCNSender) Start() {
 	s.started = true
 	s.startAt = s.eng.Now()
 	s.host.Register(s.flowID, s)
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Trace(trace.Event{Type: trace.FlowStart, At: int64(s.eng.Now()),
+			Port: -1, Queue: -1, FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
+			Size: s.size})
+	}
 	s.scheduleAlpha()
 	s.sendLoop()
+}
+
+// traceRate emits a RateUpdate event carrying the current paced rate; it is
+// called after every cut and every periodic increase stage.
+func (s *DCQCNSender) traceRate() {
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Trace(trace.Event{Type: trace.RateUpdate, At: int64(s.eng.Now()),
+			Port: -1, Queue: -1, FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
+			Value: s.rc})
+	}
 }
 
 // HandlePacket implements device.PacketHandler for ACKs.
@@ -216,6 +232,7 @@ func (s *DCQCNSender) maybeCut(now sim.Time) {
 		s.rc = s.cfg.MinRateBps
 	}
 	s.riStage = 0
+	s.traceRate()
 }
 
 // scheduleAlpha runs the periodic α update and rate increase.
@@ -257,6 +274,7 @@ func (s *DCQCNSender) increase() {
 	if s.rc > s.cfg.LineRateBps {
 		s.rc = s.cfg.LineRateBps
 	}
+	s.traceRate()
 }
 
 // sendLoop paces one packet per iteration at the current rate.
@@ -323,6 +341,11 @@ func (s *DCQCNSender) finish(now sim.Time) {
 		}
 	}
 	s.host.Unregister(s.flowID)
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Trace(trace.Event{Type: trace.FlowFinish, At: int64(now),
+			Port: -1, Queue: -1, FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
+			Size: s.size, Dur: int64(now - s.startAt)})
+	}
 	if s.onDone != nil {
 		s.onDone(now - s.startAt)
 	}

@@ -4,6 +4,7 @@ import (
 	"ecnsharp/internal/device"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // Receiver is the sink endpoint of one flow: it reassembles the byte
@@ -84,6 +85,13 @@ func (r *Receiver) HandlePacket(now sim.Time, p *packet.Packet) {
 	ce := p.ECN == packet.CE
 	if ce {
 		r.CEMarksSeen++
+		if tr := r.eng.Tracer(); tr != nil {
+			// The event keeps the flow's orientation: Src is the flow's
+			// sender, Dst this receiving host.
+			tr.Trace(trace.Event{Type: trace.ECNEcho, At: int64(now),
+				Port: -1, Queue: -1, FlowID: r.flowID, Src: r.src, Dst: r.host.ID,
+				Seq: p.Seq, Size: int64(p.Size())})
+		}
 	}
 
 	// DCTCP CE-change rule (RFC 8257 §3.2): flush any pending delayed ACK

@@ -6,6 +6,7 @@ import (
 	"ecnsharp/internal/device"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
 )
 
 // Sender is the transmitting endpoint of one flow. It implements
@@ -118,7 +119,23 @@ func (s *Sender) Start() {
 	s.startTime = s.eng.Now()
 	s.winEnd = 0
 	s.host.Register(s.flowID, s)
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Trace(trace.Event{Type: trace.FlowStart, At: int64(s.eng.Now()),
+			Port: -1, Queue: -1, FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
+			Size: s.size})
+	}
 	s.trySend()
+}
+
+// traceCwnd emits a CwndUpdate event; it is called at every congestion-
+// window mutation site (ECE cut, growth, fast retransmit, recovery exit,
+// RTO collapse) and costs one nil check when tracing is off.
+func (s *Sender) traceCwnd() {
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Trace(trace.Event{Type: trace.CwndUpdate, At: int64(s.eng.Now()),
+			Port: -1, Queue: -1, FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
+			Value: s.cwnd})
+	}
 }
 
 // HandlePacket implements device.PacketHandler for ACKs.
@@ -175,6 +192,7 @@ func (s *Sender) onAck(now sim.Time, p *packet.Packet) {
 		s.cwr = true
 		s.cwrEnd = s.sndNxt
 		s.Stats.ECECuts++
+		s.traceCwnd()
 	}
 
 	if newlyAcked > 0 {
@@ -185,6 +203,7 @@ func (s *Sender) onAck(now sim.Time, p *packet.Packet) {
 			if ack >= s.recover {
 				s.inRecovery = false
 				s.cwnd = s.ssthresh
+				s.traceCwnd()
 			} else {
 				// NewReno partial ACK: the next hole starts at the new
 				// sndUna; retransmit it immediately instead of waiting for
@@ -194,6 +213,7 @@ func (s *Sender) onAck(now sim.Time, p *packet.Packet) {
 		}
 		if !s.inRecovery {
 			s.grow(newlyAcked)
+			s.traceCwnd()
 		}
 		if s.sndUna >= s.size {
 			s.finish(now)
@@ -239,6 +259,7 @@ func (s *Sender) fastRetransmit() {
 	s.cwnd = s.ssthresh
 	s.inRecovery = true
 	s.recover = s.sndNxt
+	s.traceCwnd()
 	s.retransmit(s.sndUna)
 	s.armRTO()
 }
@@ -341,6 +362,7 @@ func (s *Sender) onRTO() {
 		s.ssthresh = 2 * float64(s.cfg.MSS)
 	}
 	s.cwnd = s.minCwnd()
+	s.traceCwnd()
 	s.sndNxt = s.sndUna
 	s.dupAcks = 0
 	s.inRecovery = false
@@ -356,6 +378,11 @@ func (s *Sender) finish(now sim.Time) {
 	s.finished = true
 	s.cancelRTO()
 	s.host.Unregister(s.flowID)
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Trace(trace.Event{Type: trace.FlowFinish, At: int64(now),
+			Port: -1, Queue: -1, FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
+			Size: s.size, Dur: int64(now - s.startTime)})
+	}
 	if s.onDone != nil {
 		s.onDone(now - s.startTime)
 	}
