@@ -1,0 +1,35 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyzers builds the ecnlint multichecker and runs it over the whole
+// tree via the go vet -vettool protocol, asserting the repository stays
+// clean under its own determinism analyzers (wallclock, globalrand,
+// maporder, simtime). Every deliberate exception must carry a
+// //lint:allow annotation, so a nonzero exit here means either a new
+// violation or an annotation that lost its reason.
+func TestAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-tree analysis in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "ecnlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ecnlint")
+	build.Stdout = os.Stderr
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building ecnlint: %v", err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	out, err := vet.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ecnlint found violations:\n%s", out)
+	}
+	if len(out) != 0 {
+		t.Logf("ecnlint output (exit 0):\n%s", out)
+	}
+}

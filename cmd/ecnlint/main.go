@@ -1,0 +1,68 @@
+// Command ecnlint runs the repository's determinism analyzers (wallclock,
+// globalrand, maporder, simtime — see internal/analysis) over Go
+// packages.
+//
+// It supports both invocation styles:
+//
+//	go run ./cmd/ecnlint ./...        # direct: lint package patterns
+//	go vet -vettool=$(which ecnlint) ./...
+//
+// In direct mode the binary re-executes itself through `go vet -vettool`,
+// which delegates package loading, export data and caching to the go
+// command — so the two styles always agree. When invoked by go vet (the
+// arguments carry a *.cfg unit file, or the -V/-flags protocol queries)
+// it behaves as a standard unitchecker-based vet tool. The process exits
+// non-zero if any analyzer reports a diagnostic.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	lint "ecnsharp/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(lint.Analyzers()...) // never returns
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecnlint: cannot locate own binary: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "ecnlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether the arguments are a go vet driver
+// invocation rather than a direct command line: the unit-config file is
+// always the last argument, and the tool-identification queries -V=full
+// and -flags come first.
+func vetProtocol(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	if strings.HasPrefix(args[0], "-V") || args[0] == "-flags" {
+		return true
+	}
+	return strings.HasSuffix(args[len(args)-1], ".cfg")
+}

@@ -1,0 +1,39 @@
+// Package analysis assembles ecnlint, the static-analysis suite that
+// turns the simulator's determinism conventions into checked rules.
+//
+// Every quantitative claim this repository reproduces rests on the
+// simulation being a deterministic discrete-event system: the harness
+// promises byte-identical experiment tables at any worker-pool width, and
+// the trace layer promises byte-deterministic JSONL/CSV golden files. The
+// four analyzers each close one hole through which host-dependent state
+// could leak into that contract:
+//
+//	wallclock  — no time.Now/Since/Sleep outside annotated harness code
+//	globalrand — no math/rand global-source draws; seeded *rand.Rand only
+//	maporder   — no map-iteration order reaching an output sink unsorted
+//	simtime    — no raw literals or bare casts in sim.Time unit math
+//
+// The suite runs three ways: `go run ./cmd/ecnlint ./...` during
+// development, `go vet -vettool=$(ecnlint)` in CI, and the TestAnalyzers
+// driver at the repository root so plain `go test ./...` enforces it.
+// See DESIGN.md ("Determinism invariants") for the rationale per rule.
+package analysis
+
+import (
+	goanalysis "golang.org/x/tools/go/analysis"
+
+	"ecnsharp/internal/analysis/globalrand"
+	"ecnsharp/internal/analysis/maporder"
+	"ecnsharp/internal/analysis/simtime"
+	"ecnsharp/internal/analysis/wallclock"
+)
+
+// Analyzers returns the full ecnlint suite in stable order.
+func Analyzers() []*goanalysis.Analyzer {
+	return []*goanalysis.Analyzer{
+		wallclock.Analyzer,
+		globalrand.Analyzer,
+		maporder.Analyzer,
+		simtime.Analyzer,
+	}
+}

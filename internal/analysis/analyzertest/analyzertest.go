@@ -1,0 +1,256 @@
+// Package analyzertest is a self-contained golden-package test driver for
+// the ecnlint analyzers, modeled on golang.org/x/tools/go/analysis/analysistest.
+//
+// The upstream analysistest depends on go/packages, which this repository
+// deliberately does not vendor (the suite only needs the analysis core
+// that the Go toolchain itself ships). This driver reimplements the part
+// the tests need: it loads a GOPATH-layout package from an analyzer's
+// testdata/src tree, type-checks it from source against the standard
+// library, runs the analyzer (and its Requires closure), and compares the
+// reported diagnostics against "// want" comment expectations.
+//
+// Expectation syntax, as in analysistest: a comment on the offending line
+// holding one Go string literal per expected diagnostic, each a regular
+// expression matched against the diagnostic message:
+//
+//	time.Sleep(time.Second) // want `reads the wall clock`
+//
+// A diagnostic with no matching want, or a want with no matching
+// diagnostic, fails the test. Packages with no want comments therefore
+// assert that the analyzer is silent — which is how the allowlist
+// negative tests are written.
+package analyzertest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, which Run treats as a GOPATH root (packages under
+// testdata/src/<importpath>).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analyzertest: %v", err)
+	}
+	return dir
+}
+
+// Run loads each package path from the testdata GOPATH root, applies the
+// analyzer, and checks its diagnostics against the // want expectations in
+// the package's files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	// Force classic GOPATH resolution rooted at testdata: the fake
+	// packages there (e.g. ecnsharp/internal/sim) must shadow nothing and
+	// need no go.mod. The source importer reads the build context lazily,
+	// so the swap must cover the whole type-checking phase.
+	t.Setenv("GO111MODULE", "off")
+	oldGopath := build.Default.GOPATH
+	build.Default.GOPATH = testdata
+	t.Cleanup(func() { build.Default.GOPATH = oldGopath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	for _, pkgPath := range pkgPaths {
+		pkg, files, info := loadPackage(t, fset, imp, testdata, pkgPath)
+		diags := runWithRequires(t, a, fset, files, pkg, info)
+		checkExpectations(t, fset, files, pkgPath, diags)
+	}
+}
+
+// loadPackage parses and type-checks one testdata package from source.
+func loadPackage(t *testing.T, fset *token.FileSet, imp types.Importer,
+	testdata, pkgPath string) (*types.Package, []*ast.File, *types.Info) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analyzertest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analyzertest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analyzertest: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analyzertest: type-check %s: %v", pkgPath, err)
+	}
+	return pkg, files, info
+}
+
+// runWithRequires executes a and its Requires closure in dependency
+// order, wiring each pass's ResultOf, and returns a's diagnostics.
+func runWithRequires(t *testing.T, a *analysis.Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	t.Helper()
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+
+	var exec func(an *analysis.Analyzer)
+	exec = func(an *analysis.Analyzer) {
+		if _, done := results[an]; done {
+			return
+		}
+		for _, req := range an.Requires {
+			exec(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   resultsFor(an, results),
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if an == a {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzertest: analyzer %s: %v", an.Name, err)
+		}
+		results[an] = res
+	}
+	exec(a)
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// resultsFor projects the memoized results onto an analyzer's Requires.
+func resultsFor(an *analysis.Analyzer, all map[*analysis.Analyzer]any) map[*analysis.Analyzer]any {
+	out := make(map[*analysis.Analyzer]any, len(an.Requires))
+	for _, req := range an.Requires {
+		out[req] = all[req]
+	}
+	return out
+}
+
+// expectation is one // want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+// checkExpectations cross-matches diagnostics against want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File,
+	pkgPath string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range parseWantPatterns(t, pkgPath, pos, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", pkgPath, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pkgPath, w.file, w.line, w.text)
+		}
+	}
+}
+
+// parseWantPatterns extracts the sequence of Go string literals after
+// "want": quoted or backquoted, whitespace-separated.
+func parseWantPatterns(t *testing.T, pkgPath string, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		var end int
+		switch s[0] {
+		case '`':
+			end = strings.IndexByte(s[1:], '`')
+		case '"':
+			end = strings.IndexByte(s[1:], '"')
+		default:
+			t.Fatalf("%s: %s:%d: malformed want expectation %q", pkgPath, pos.Filename, pos.Line, s)
+		}
+		if end < 0 {
+			t.Fatalf("%s: %s:%d: unterminated want literal %q", pkgPath, pos.Filename, pos.Line, s)
+		}
+		lit := s[:end+2]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: %s:%d: bad want literal %s: %v", pkgPath, pos.Filename, pos.Line, lit, err)
+		}
+		pats = append(pats, unq)
+		s = s[end+2:]
+	}
+}

@@ -1,0 +1,77 @@
+// Package globalrand defines an analyzer that flags use of math/rand's
+// package-level functions and of the process-global random source.
+//
+// Every random draw in a simulation must come from an explicitly seeded
+// *rand.Rand threaded down from the run configuration (RunConfig.Seed):
+// that is what makes a run a pure function of (config, seed) and lets the
+// harness promise byte-identical experiment tables at any pool width. The
+// default-source functions (rand.Intn, rand.Float64, rand.Shuffle, …)
+// draw from a shared, differently-seeded source and are additionally
+// racy across the worker pool.
+//
+// Constructors that take an explicit seed (rand.New, rand.NewSource,
+// rand.NewZipf) are fine; so are methods on a *rand.Rand value. Test
+// files are exempt. A deliberate exception is annotated with
+// "//lint:allow globalrand -- <reason>".
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"ecnsharp/internal/analysis/lintallow"
+)
+
+// seeded are the math/rand package-level names that construct explicitly
+// seeded values instead of drawing from the global source.
+var seeded = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// name is the analyzer name used in diagnostics and allow comments.
+const name = "globalrand"
+
+// Analyzer is the globalrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flags math/rand package-level functions (global, shared source); thread an explicitly seeded *rand.Rand from the run config instead",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := lintallow.NewIndex(pass.Fset, pass.Files)
+
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // method on an explicit *rand.Rand / rand.Zipf value
+		}
+		if seeded[fn.Name()] {
+			return
+		}
+		if lintallow.InTestFile(pass.Fset, sel.Pos()) ||
+			allow.Allowed(name, sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"rand.%s draws from the process-global source; use an explicitly seeded *rand.Rand threaded from the run config (or annotate //lint:allow globalrand -- <reason>)",
+			fn.Name())
+	})
+	return nil, nil
+}

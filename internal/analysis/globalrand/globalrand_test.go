@@ -1,0 +1,14 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"ecnsharp/internal/analysis/analyzertest"
+	"ecnsharp/internal/analysis/globalrand"
+)
+
+// TestGlobalRand covers the global-source true positives, the seeded
+// clean path, and the allow-comment suppression.
+func TestGlobalRand(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), globalrand.Analyzer, "a")
+}

@@ -1,0 +1,32 @@
+// Package a exercises the globalrand analyzer: draws from math/rand's
+// process-global source are flagged; explicitly seeded sources are not.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Global draws from the shared default source — all flagged.
+func Global() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	rand.Seed(42)                      // want `rand\.Seed draws from the process-global source`
+	f := rand.Int63                    // want `rand\.Int63 draws from the process-global source`
+	_ = f
+	_ = randv2.IntN(10) // want `rand\.IntN draws from the process-global source`
+}
+
+// Seeded threads an explicit source — clean.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.5, 1, 100)
+	_ = z.Uint64()
+	return rng.Float64()
+}
+
+// Annotated records a deliberate exception.
+func Annotated() int {
+	return rand.Int() //lint:allow globalrand -- golden-test fixture for the suppression path
+}

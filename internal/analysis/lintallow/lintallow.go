@@ -1,0 +1,105 @@
+// Package lintallow implements the suppression mechanism shared by the
+// ecnlint analyzers: a "//lint:allow <name>" comment on the offending line
+// (or on the line immediately above it) silences the analyzer called
+// <name> for that line, and a package allowlist flag exempts whole
+// packages.
+//
+// The comment form is
+//
+//	//lint:allow wallclock -- harness measures real job wall time
+//
+// where everything after "--" is a free-form reason. Several analyzer
+// names may be given, comma-separated. An allow comment with no reason is
+// accepted but discouraged: the point of the annotation is to record *why*
+// the invariant does not apply at that site.
+package lintallow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// prefix is the comment marker the analyzers look for.
+const prefix = "lint:allow"
+
+// Index records, per file and line, which analyzer names are allowed.
+type Index struct {
+	fset *token.FileSet
+	// allowed maps filename -> line -> set of analyzer names.
+	allowed map[string]map[int]map[string]bool
+}
+
+// NewIndex scans the comments of every file and builds the suppression
+// index for one package.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, allowed: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				lines := ix.allowed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ix.allowed[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						names[name] = true
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// Allowed reports whether the analyzer called name is suppressed at pos:
+// either the same line or the line directly above carries a matching
+// //lint:allow comment.
+func (ix *Index) Allowed(name string, pos token.Pos) bool {
+	p := ix.fset.Position(pos)
+	lines := ix.allowed[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][name] || lines[p.Line-1][name]
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The ecnlint
+// analyzers exempt test files: tests may legitimately measure wall time,
+// print unsorted debug output, and so on, and the determinism contract is
+// about simulation outputs, which tests compare rather than produce.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgAllowed reports whether path matches the comma-separated allowlist of
+// import-path suffixes in list: an entry matches if it equals the path or
+// a trailing sequence of its slash-separated elements.
+func PkgAllowed(list, path string) bool {
+	for _, suffix := range strings.Split(list, ",") {
+		suffix = strings.TrimSpace(suffix)
+		if suffix == "" {
+			continue
+		}
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

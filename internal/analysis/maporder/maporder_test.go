@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"ecnsharp/internal/analysis/analyzertest"
+	"ecnsharp/internal/analysis/maporder"
+)
+
+// TestMapOrder covers sink-in-loop and collect-without-sort positives,
+// the collect-then-sort idiom, and the allow-comment suppression.
+func TestMapOrder(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), maporder.Analyzer, "a")
+}

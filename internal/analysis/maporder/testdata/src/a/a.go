@@ -1,0 +1,77 @@
+// Package a exercises the maporder analyzer: order-sensitive map
+// iteration is flagged; the collect-sort-iterate idiom is not.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// EmitUnsorted prints while ranging a map — the order changes per run.
+func EmitUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside iteration over map m`
+	}
+}
+
+// WriteUnsorted hits a Write method sink inside the loop.
+func WriteUnsorted(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `WriteString inside iteration over map m`
+	}
+}
+
+// CollectNoSort leaks map order through a returned slice.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `"keys" collects elements from iteration over map m but is never sorted`
+	}
+	return keys
+}
+
+// CollectThenSort is the sanctioned idiom — clean.
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectThenSortSlice sorts with a comparator — also clean.
+func CollectThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// SliceRange iterates a slice, which is ordered — clean.
+func SliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+// Summed folds map values order-insensitively — clean (no sink, no
+// collection).
+func Summed(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Annotated is order-insensitive output (a set dump consumed by a
+// determinism-agnostic debug path) with a recorded reason.
+func Annotated(m map[string]int) {
+	for k := range m { //lint:allow maporder -- golden-test fixture for the suppression path
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,196 @@
+// Package simtime defines an analyzer that keeps simulation-time
+// arithmetic unit-safe.
+//
+// sim.Time is nanoseconds since run start. The threshold math of
+// Algorithm 1 (K, pst_target, pst_interval) mixes quantities whose paper
+// units are microseconds with engine timestamps in nanoseconds — exactly
+// where a raw numeric literal or a bare cast silently produces a value
+// three orders of magnitude off while still type-checking. The analyzer
+// enforces three rules outside the sim package itself:
+//
+//   - no raw integer literal may be added to, subtracted from, or compared
+//     against a sim.Time value: write 10*sim.Microsecond (or a named
+//     sim.Time constant), not 10000;
+//   - a time.Duration value is converted with sim.FromDuration, never a
+//     bare sim.Time(d) cast;
+//   - a sim.Time value is converted with its Duration() method, never a
+//     bare time.Duration(t) cast.
+//
+// Scaling unit constants (240 * sim.Microsecond) and zero comparisons
+// (t > 0) stay idiomatic and are not flagged. Deliberate exceptions are
+// annotated "//lint:allow simtime -- <reason>".
+package simtime
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"ecnsharp/internal/analysis/lintallow"
+)
+
+var timeType string
+
+// name is the analyzer name used in diagnostics and allow comments.
+const name = "simtime"
+
+// Analyzer is the simtime analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flags raw integer literals mixed into sim.Time arithmetic/comparisons and bare casts between sim.Time and time.Duration; use unit constants and the conversion helpers",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&timeType, "timetype", "ecnsharp/internal/sim.Time",
+		"fully qualified name of the simulation time type")
+}
+
+// flagged binary operators: additive arithmetic and ordering/equality.
+// Multiplication and division are scaling (240 * sim.Microsecond, t / 2)
+// and stay exempt.
+var flaggedOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	simPkg, simName := splitQualified(timeType)
+	if pass.Pkg.Path() == simPkg {
+		return nil, nil // the conversion helpers themselves live here
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := lintallow.NewIndex(pass.Fset, pass.Files)
+
+	isSimTime := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == simPkg && obj.Name() == simName
+	}
+	isDuration := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+	}
+	skip := func(pos token.Pos) bool {
+		return lintallow.InTestFile(pass.Fset, pos) || allow.Allowed(name, pos)
+	}
+
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !flaggedOps[n.Op] || skip(n.Pos()) {
+				return
+			}
+			check := func(timeSide, litSide ast.Expr) {
+				if !isSimTime(pass.TypesInfo.TypeOf(timeSide)) {
+					return
+				}
+				lit, ok := rawNonzeroIntLit(pass, litSide)
+				if !ok {
+					return
+				}
+				pass.Reportf(n.Pos(),
+					"raw integer literal %s %s a %s value; use unit constants (e.g. %s*%s.Microsecond) or a named %s constant (or annotate //lint:allow simtime -- <reason>)",
+					lit, opPhrase(n.Op), simName, lit, pkgBase(simPkg), simName)
+			}
+			check(n.X, n.Y)
+			check(n.Y, n.X)
+
+		case *ast.CallExpr:
+			// Conversions T(x) only: the callee must denote a type.
+			tv, ok := pass.TypesInfo.Types[n.Fun]
+			if !ok || !tv.IsType() || len(n.Args) != 1 || skip(n.Pos()) {
+				return
+			}
+			target := tv.Type
+			argType := pass.TypesInfo.TypeOf(n.Args[0])
+			if argType == nil {
+				return
+			}
+			switch {
+			case isSimTime(target) && isDuration(argType):
+				pass.Reportf(n.Pos(),
+					"bare %s(time.Duration) cast; use %s.FromDuration so unit handling stays in one place (or annotate //lint:allow simtime -- <reason>)",
+					simName, pkgBase(simPkg))
+			case isDuration(target) && isSimTime(argType):
+				pass.Reportf(n.Pos(),
+					"bare time.Duration(%s) cast; use the %s.Duration() method (or annotate //lint:allow simtime -- <reason>)",
+					simName, simName)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// rawNonzeroIntLit reports whether e (modulo parens and unary +/-) is an
+// untyped integer literal other than 0, returning its source text.
+func rawNonzeroIntLit(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB {
+				e = x.X
+				continue
+			}
+		}
+		break
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return "", false
+	}
+	if tv, ok := pass.TypesInfo.Types[lit]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v == 0 {
+			return "", false
+		}
+	}
+	return lit.Value, true
+}
+
+// opPhrase renders the operator for the diagnostic.
+func opPhrase(op token.Token) string {
+	switch op {
+	case token.ADD:
+		return "added to"
+	case token.SUB:
+		return "subtracted with"
+	default:
+		return "compared (" + op.String() + ") against"
+	}
+}
+
+// splitQualified splits "pkg/path.Name" at the last dot.
+func splitQualified(q string) (pkg, name string) {
+	i := strings.LastIndex(q, ".")
+	if i < 0 {
+		return "", q
+	}
+	return q[:i], q[i+1:]
+}
+
+// pkgBase returns the final element of an import path.
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,14 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"ecnsharp/internal/analysis/analyzertest"
+	"ecnsharp/internal/analysis/simtime"
+)
+
+// TestSimTime covers raw-literal arithmetic, bare casts in both
+// directions, the unit-constant idiom, and the allow-comment suppression.
+func TestSimTime(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), simtime.Analyzer, "a")
+}

@@ -1,0 +1,51 @@
+// Package a exercises the simtime analyzer: raw literals and bare casts
+// in sim.Time unit math are flagged; unit constants and the conversion
+// helpers are not.
+package a
+
+import (
+	"time"
+
+	"ecnsharp/internal/sim"
+)
+
+// RawLiterals mixes magic nanosecond numbers into threshold math.
+func RawLiterals(t, target sim.Time) bool {
+	deadline := t + 100000 // want `raw integer literal 100000 added to a Time value`
+	if target > 5000 {     // want `raw integer literal 5000 compared \(>\) against a Time value`
+		return true
+	}
+	return deadline-10 > target // want `raw integer literal 10 subtracted with a Time value`
+}
+
+// UnitMath is the idiomatic form — scaling unit constants, zero
+// comparisons, Time-with-Time arithmetic. All clean.
+func UnitMath(t sim.Time) sim.Time {
+	if t <= 0 {
+		return 240 * sim.Microsecond
+	}
+	interval := 2 * sim.Millisecond
+	return t + interval + 10*sim.Microsecond
+}
+
+// BareCasts launder units through conversions instead of the helpers.
+func BareCasts(d time.Duration, t sim.Time) {
+	_ = sim.Time(d)      // want `bare Time\(time\.Duration\) cast; use sim\.FromDuration`
+	_ = time.Duration(t) // want `bare time\.Duration\(Time\) cast; use the Time\.Duration\(\) method`
+}
+
+// Helpers use the sanctioned conversions — clean.
+func Helpers(d time.Duration, t sim.Time) (sim.Time, time.Duration) {
+	return sim.FromDuration(d), t.Duration()
+}
+
+// Counts shows that untyped-literal scaling and int conversions of
+// non-time quantities stay untouched.
+func Counts(n int) sim.Time {
+	return sim.Time(n) * sim.Microsecond / 2
+}
+
+// Annotated records a deliberate exception.
+func Annotated(t sim.Time) sim.Time {
+	return t + 42 //lint:allow simtime -- golden-test fixture for the suppression path
+}

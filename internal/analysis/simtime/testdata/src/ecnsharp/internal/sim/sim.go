@@ -1,0 +1,24 @@
+// Package sim is a miniature stand-in for the real simulation-time
+// package: the simtime analyzer recognizes the Time type by its qualified
+// name (ecnsharp/internal/sim.Time), which this GOPATH-layout fixture
+// reproduces.
+package sim
+
+import "time"
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in simulation time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration converts a time.Duration to a simulation Time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }

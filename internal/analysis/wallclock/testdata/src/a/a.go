@@ -1,0 +1,40 @@
+// Package a exercises the wallclock analyzer: every read of the host
+// clock in non-test code is flagged unless annotated.
+package a
+
+import "time"
+
+// Elapsed reads the wall clock twice and sleeps — three findings.
+func Elapsed() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+// Timers flags timer and ticker constructors and function values too.
+func Timers() {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	t.Stop()
+	f := time.Now // want `time\.Now reads the wall clock`
+	_ = f
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+}
+
+// Clean uses only wall-clock-free parts of package time.
+func Clean(d time.Duration) float64 {
+	if d > 3*time.Millisecond {
+		return d.Seconds()
+	}
+	return 0
+}
+
+// Annotated demonstrates line-level suppression with a recorded reason.
+func Annotated() time.Time {
+	return time.Now() //lint:allow wallclock -- golden-test fixture for the suppression path
+}
+
+// AnnotatedAbove demonstrates the comment-on-previous-line form.
+func AnnotatedAbove() time.Time {
+	//lint:allow wallclock -- golden-test fixture for the suppression path
+	return time.Now()
+}

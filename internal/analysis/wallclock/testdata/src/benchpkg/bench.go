@@ -1,0 +1,11 @@
+// Package benchpkg reads the wall clock without any annotation; it is
+// exempted wholesale through the -allowpkgs flag in the tests. No want
+// comments: with the flag set, the analyzer must stay silent.
+package benchpkg
+
+import "time"
+
+// Stamp returns the current host time.
+func Stamp() time.Time {
+	return time.Now()
+}

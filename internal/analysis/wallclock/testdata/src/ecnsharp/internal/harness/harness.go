@@ -1,0 +1,14 @@
+// Package harness mirrors the real worker-pool harness: it measures host
+// wall time for job latency reporting, which is legitimate and annotated.
+// This package must produce no diagnostics (the file has no want
+// comments), proving the allowlist works.
+package harness
+
+import "time"
+
+// RunTimed reports how long fn took in host time.
+func RunTimed(fn func()) time.Duration {
+	start := time.Now() //lint:allow wallclock -- measures host-side job latency, not sim time
+	fn()
+	return time.Since(start) //lint:allow wallclock -- measures host-side job latency, not sim time
+}

@@ -1,0 +1,34 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"ecnsharp/internal/analysis/analyzertest"
+	"ecnsharp/internal/analysis/wallclock"
+)
+
+// TestWallclock checks the true positives and the line-level allow
+// comments in package a.
+func TestWallclock(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), wallclock.Analyzer, "a")
+}
+
+// TestWallclockHarnessAllowed is the negative test the determinism suite
+// promises: annotated harness timing code produces no diagnostics.
+func TestWallclockHarnessAllowed(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), wallclock.Analyzer, "ecnsharp/internal/harness")
+}
+
+// TestWallclockAllowPkgsFlag exempts a whole package by import-path
+// suffix via the -allowpkgs flag.
+func TestWallclockAllowPkgsFlag(t *testing.T) {
+	if err := wallclock.Analyzer.Flags.Set("allowpkgs", "benchpkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := wallclock.Analyzer.Flags.Set("allowpkgs", ""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	analyzertest.Run(t, analyzertest.TestData(t), wallclock.Analyzer, "benchpkg")
+}

@@ -1,0 +1,7 @@
+package metrics
+
+import "ecnsharp/internal/trace"
+
+// Compile-time check that SummaryTracer satisfies trace.Tracer, so a
+// signature drift breaks the build rather than the experiment wiring.
+var _ trace.Tracer = (*SummaryTracer)(nil)
