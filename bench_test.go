@@ -25,6 +25,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	sc := experiments.SmokeScale()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables := e.Run(sc)

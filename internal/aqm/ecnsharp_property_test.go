@@ -1,0 +1,138 @@
+package aqm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/trace"
+)
+
+// TestECNSharpSqrtCadenceProperty checks Algorithm 1's marking cadence as
+// a property over randomized configurations: while the sojourn time stays
+// above pst_target, the k-th conservative mark of an episode must land on
+// the schedule s_{k+1} = s_k + pst_interval/sqrt(k), discretized to the
+// driving grid. The test recomputes the schedule independently from the
+// observed mark times alone, so a bug in MarkingNext bookkeeping cannot
+// hide behind itself.
+func TestECNSharpSqrtCadenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pstTarget := sim.Time(10+rng.Intn(190)) * sim.Microsecond
+		pstInterval := sim.Time(50+rng.Intn(450)) * sim.Microsecond
+		params := core.Params{
+			// Far above any sojourn the test drives, so every mark
+			// observed is a persistent one.
+			InsTarget:   1000 * pstInterval,
+			PstTarget:   pstTarget,
+			PstInterval: pstInterval,
+		}
+		e := MustNewECNSharp(params)
+
+		// Drive on a fine grid; the smallest scheduled gap in the run is
+		// pstInterval/sqrt(maxMarks), still dozens of grid steps wide.
+		dt := pstInterval / 64
+		const maxMarks = 24
+		now := sim.Time(1) // non-zero: 0 is Algorithm 1's "unset" sentinel
+		sojourn := func() sim.Time {
+			// Always in [pstTarget, InsTarget): above target, never
+			// instantaneous.
+			return pstTarget + sim.Time(rng.Int63n(int64(10*pstInterval)))
+		}
+
+		var marks []sim.Time
+		for steps := 0; len(marks) < maxMarks; steps++ {
+			if steps > 100_000 {
+				t.Fatalf("seed %d: episode produced only %d marks", seed, len(marks))
+			}
+			if e.OnDequeue(now, nil, sojourn()) {
+				if e.LastMarkKind() != trace.MarkPersistent {
+					t.Fatalf("seed %d: unexpected instantaneous mark", seed)
+				}
+				marks = append(marks, now)
+			}
+			now += dt
+		}
+
+		// Detection: FirstAboveTime is the first drive time; the first mark
+		// is the first grid point strictly after firstAbove + pst_interval.
+		firstAbove := sim.Time(1)
+		want := gridAfter(firstAbove+pstInterval, firstAbove, dt)
+		if marks[0] != want {
+			t.Fatalf("seed %d: first mark at %v, want %v (detection after one pst_interval)",
+				seed, marks[0], want)
+		}
+
+		// Cadence: scheduled time s_k advances by pstInterval/sqrt(k) after
+		// the k-th mark; each observed mark is the first grid point strictly
+		// after its scheduled time.
+		sched := marks[0] + pstInterval
+		for k := 1; k < len(marks); k++ {
+			want := gridAfter(sched, firstAbove, dt)
+			if marks[k] != want {
+				t.Fatalf("seed %d: mark %d at %v, want %v (sched %v)",
+					seed, k+1, marks[k], want, sched)
+			}
+			if marks[k]-sched > dt {
+				t.Fatalf("seed %d: mark %d lags schedule by %v > one step %v",
+					seed, k+1, marks[k]-sched, dt)
+			}
+			step := sim.Time(float64(pstInterval) / math.Sqrt(float64(k+1)))
+			sched += step
+		}
+
+		// The scheduled gaps must shrink monotonically (the sqrt ramp).
+		for k := 2; k < len(marks); k++ {
+			g1 := sim.Time(float64(pstInterval) / math.Sqrt(float64(k)))
+			g0 := sim.Time(float64(pstInterval) / math.Sqrt(float64(k-1)))
+			if g1 > g0 {
+				t.Fatalf("seed %d: schedule gap grew from %v to %v at mark %d", seed, g0, g1, k)
+			}
+		}
+
+		// Reset: dropping below pst_target ends the episode immediately...
+		if e.OnDequeue(now, nil, pstTarget-1) {
+			t.Fatalf("seed %d: marked below pst_target", seed)
+		}
+		if st := e.Core().State(); st.MarkingState || st.FirstAboveTime != 0 {
+			t.Fatalf("seed %d: state not reset after dip: %+v", seed, st)
+		}
+		now += dt
+
+		// ...and a new episode restarts from scratch: a full pst_interval of
+		// detection, then the full initial spacing between marks 1 and 2.
+		reStart := now
+		var remarks []sim.Time
+		for steps := 0; len(remarks) < 2; steps++ {
+			if steps > 100_000 {
+				t.Fatalf("seed %d: re-episode produced only %d marks", seed, len(remarks))
+			}
+			if e.OnDequeue(now, nil, sojourn()) {
+				remarks = append(remarks, now)
+			}
+			now += dt
+		}
+		want = gridAfter(reStart+pstInterval, reStart, dt)
+		if remarks[0] != want {
+			t.Fatalf("seed %d: re-detection mark at %v, want %v", seed, remarks[0], want)
+		}
+		want = gridAfter(remarks[0]+pstInterval, reStart, dt)
+		if remarks[1] != want {
+			t.Fatalf("seed %d: episode restart did not reset the cadence: second mark at %v, want %v",
+				seed, remarks[1], want)
+		}
+	}
+}
+
+// gridAfter returns the first grid point origin + n*dt strictly greater
+// than deadline.
+func gridAfter(deadline, origin, dt sim.Time) sim.Time {
+	n := (deadline - origin) / dt
+	at := origin + n*dt
+	for at <= deadline {
+		at += dt
+	}
+	return at
+}

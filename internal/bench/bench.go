@@ -1,0 +1,139 @@
+// Package bench holds the benchmark bodies shared by `go test -bench`
+// (via thin wrappers in each package's bench_test.go) and the
+// `ecnsharp-bench -json` runtime snapshot, so CI's regression gate and
+// interactive benchmarking measure exactly the same code.
+//
+// Every body calls b.ReportAllocs: the hot-path contract (see DESIGN.md
+// "Hot path & memory discipline") is expressed in allocs/op, and the CI
+// compare treats allocation counts as exact, not toleranced.
+package bench
+
+import (
+	"testing"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/packet"
+	"ecnsharp/internal/queue"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/transport"
+)
+
+// nop is the scheduled no-op; package-level so taking its address never
+// allocates a closure.
+func nop() {}
+
+// ScheduleAndRun measures raw event throughput: the entire simulator's
+// speed limit. Zero allocs/op: the heap and slot arena amortize their
+// growth and scheduling itself touches no heap memory.
+func ScheduleAndRun(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+sim.Time(i%64), nop)
+		if e.Len() > 1024 {
+			for e.Step() {
+				if e.Len() <= 64 {
+					break
+				}
+			}
+		}
+	}
+	e.Run()
+}
+
+// NestedAfter measures the common pattern of events scheduling their
+// successors (links, timers). The single tick closure amortizes to zero
+// allocs/op.
+func NestedAfter(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(100, tick)
+		}
+	}
+	b.ReportAllocs()
+	e.Schedule(0, tick)
+	e.Run()
+}
+
+// EgressFIFO measures the full egress path with a sojourn AQM. Packets
+// cycle through a pool exactly as forwarding does in a simulation, so
+// steady state is zero allocs/op.
+func EgressFIFO(b *testing.B) {
+	eg := queue.NewEgress(1, nil, 0, func(int) aqm.AQM {
+		return aqm.NewREDInstantSojourn(100 * sim.Microsecond)
+	})
+	pool := &packet.Pool{}
+	b.ReportAllocs()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += 1200
+		p := pool.Get()
+		p.Kind = packet.Data
+		p.PayloadLen = packet.MSS
+		p.ECN = packet.ECT
+		eg.Enqueue(now, p)
+		if eg.Len() > 256 {
+			for eg.Len() > 32 {
+				pool.Put(eg.Dequeue(now))
+			}
+		}
+	}
+}
+
+// BulkTransfer measures whole-stack simulation throughput: two 10 MB
+// DCTCP flows through a marking switch (the dominant cost of every
+// experiment).
+func BulkTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		net := topology.Star(eng, 3, topology.Options{
+			Link: topology.LinkParams{
+				RateBps:     topology.TenGbps,
+				PropDelay:   2 * sim.Microsecond,
+				BufferBytes: 600 * 1500,
+			},
+			NewAQM: func(int) aqm.AQM { return aqm.NewREDInstantBytes(100 * 1500) },
+		})
+		cfg := transport.DefaultConfig()
+		fl1 := transport.StartFlow(eng, cfg, net.Host(0), net.Host(2), 1, 10_000_000, 0, nil)
+		fl2 := transport.StartFlow(eng, cfg, net.Host(1), net.Host(2), 2, 10_000_000, 0, nil)
+		eng.Run()
+		if !fl1.Done || !fl2.Done {
+			b.Fatal("flows incomplete")
+		}
+	}
+}
+
+// IncastBurst measures the cost of the synchronized-burst scenario that
+// dominates the Figure 10/11 experiments.
+func IncastBurst(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		net := topology.Star(eng, 17, topology.Options{
+			Link: topology.LinkParams{
+				RateBps:     topology.TenGbps,
+				PropDelay:   sim.Microsecond,
+				BufferBytes: 600 * 1500,
+			},
+			NewAQM: func(int) aqm.AQM { return aqm.NewREDInstantBytes(180 * 1500) },
+		})
+		cfg := transport.DefaultConfig()
+		cfg.InitCwndSegments = 2
+		done := 0
+		for f := 0; f < 64; f++ {
+			transport.StartFlow(eng, cfg, net.Host(f%16), net.Host(16),
+				uint64(f+1), 30_000, 0, func(*transport.Flow) { done++ })
+		}
+		eng.Run()
+		if done != 64 {
+			b.Fatal("burst incomplete")
+		}
+	}
+}

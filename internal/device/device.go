@@ -28,6 +28,11 @@ type Node interface {
 //
 // The port serializes one packet at a time: a packet of size S occupies the
 // transmitter for S*8/RateBps, then arrives at Dst PropDelay later.
+//
+// The forwarding path is allocation-free: the tx-done and delivery
+// callbacks are bound once at construction, the packet in flight on the
+// transmitter rides in a struct field, and packets crossing the link ride
+// as the (pointer-typed, hence unboxed) argument of sim.AfterArg.
 type Port struct {
 	eng       *sim.Engine
 	Egress    *queue.Egress
@@ -35,7 +40,11 @@ type Port struct {
 	PropDelay sim.Time
 	Dst       Node
 
-	busy bool
+	busy  bool
+	txPkt *packet.Packet // packet occupying the transmitter while busy
+
+	txDoneFn  func()    // bound once: serialization finished
+	deliverFn func(any) // bound once: propagation finished, deliver to Dst
 
 	// TxBytes and TxPackets count transmitted (dequeued) traffic.
 	TxBytes   int64
@@ -50,7 +59,10 @@ func NewPort(eng *sim.Engine, eg *queue.Egress, rateBps float64, prop sim.Time, 
 	if rateBps <= 0 {
 		panic("device: port rate must be positive")
 	}
-	return &Port{eng: eng, Egress: eg, RateBps: rateBps, PropDelay: prop, Dst: dst}
+	pt := &Port{eng: eng, Egress: eg, RateBps: rateBps, PropDelay: prop, Dst: dst}
+	pt.txDoneFn = pt.txDone
+	pt.deliverFn = func(a any) { pt.Dst.Receive(a.(*packet.Packet)) }
+	return pt
 }
 
 // TxTime returns the serialization delay of n bytes at this port's rate.
@@ -59,7 +71,8 @@ func (pt *Port) TxTime(n int) sim.Time {
 }
 
 // Send enqueues p for transmission (possibly dropping on buffer overflow)
-// and kicks the transmitter.
+// and kicks the transmitter. A dropped packet is recycled by the egress;
+// the caller relinquishes ownership either way.
 func (pt *Port) Send(p *packet.Packet) {
 	if pt.Egress.Enqueue(pt.eng.Now(), p) {
 		pt.kick()
@@ -76,16 +89,21 @@ func (pt *Port) kick() {
 		return
 	}
 	pt.busy = true
+	pt.txPkt = p
 	pt.TxBytes += int64(p.Size())
 	pt.TxPackets++
-	tx := pt.TxTime(p.Size())
 	// Transmitter frees after serialization; the packet lands at the
-	// destination one propagation delay later.
-	pt.eng.After(tx, func() {
-		pt.busy = false
-		pt.eng.After(pt.PropDelay, func() { pt.Dst.Receive(p) })
-		pt.kick()
-	})
+	// destination one propagation delay later (see txDone).
+	pt.eng.After(pt.TxTime(p.Size()), pt.txDoneFn)
+}
+
+// txDone fires when the packet on the transmitter finishes serializing.
+func (pt *Port) txDone() {
+	p := pt.txPkt
+	pt.txPkt = nil
+	pt.busy = false
+	pt.eng.AfterArg(pt.PropDelay, pt.deliverFn, p)
+	pt.kick()
 }
 
 // Switch is an output-queued switch: packets arriving on any ingress are
@@ -156,8 +174,16 @@ type Host struct {
 	// NIC is the host's uplink transmit port; set by topology wiring.
 	NIC *Port
 
+	// Pool, when non-nil, recycles packets: transports allocate outgoing
+	// packets via AllocPacket and the host, as the terminal owner of every
+	// delivered packet, returns them after the flow handler has consumed
+	// their fields. Handlers must not retain packet pointers past return.
+	Pool *packet.Pool
+
 	handlers   map[uint64]PacketHandler
 	flowDelays map[uint64]sim.Time
+
+	nicSendFn func(any) // bound once: delayed NIC entry for Send
 
 	// Default extra delay applied to flows with no specific entry.
 	DefaultDelay sim.Time
@@ -168,13 +194,19 @@ type Host struct {
 
 // NewHost builds a host with the given id.
 func NewHost(eng *sim.Engine, id int) *Host {
-	return &Host{
+	h := &Host{
 		ID:         id,
 		eng:        eng,
 		handlers:   make(map[uint64]PacketHandler),
 		flowDelays: make(map[uint64]sim.Time),
 	}
+	h.nicSendFn = func(a any) { h.NIC.Send(a.(*packet.Packet)) }
+	return h
 }
+
+// AllocPacket returns a zeroed packet from the host's pool (or the heap
+// when pooling is disabled). Transports use it for every outgoing packet.
+func (h *Host) AllocPacket() *packet.Packet { return h.Pool.Get() }
 
 // Name implements Node.
 func (h *Host) Name() string { return fmt.Sprintf("host%d", h.ID) }
@@ -225,15 +257,18 @@ func (h *Host) Send(p *packet.Packet) {
 		h.NIC.Send(p)
 		return
 	}
-	h.eng.After(d, func() { h.NIC.Send(p) })
+	h.eng.AfterArg(d, h.nicSendFn, p)
 }
 
 // Receive implements Node: demux to the registered flow handler. Packets
 // for unknown flows (e.g. retransmissions arriving after completion) are
-// dropped silently but counted.
+// dropped silently but counted. Delivery ends the packet's journey: the
+// host recycles it once the handler returns, so handlers must copy any
+// field they need rather than keep the pointer.
 func (h *Host) Receive(p *packet.Packet) {
 	h.RxPackets++
 	if ph, ok := h.handlers[p.FlowID]; ok {
 		ph.HandlePacket(h.eng.Now(), p)
 	}
+	h.Pool.Put(p)
 }

@@ -15,13 +15,19 @@ type Tap struct {
 	eng *sim.Engine
 	dst Node
 
+	// Pool, when non-nil, recycles packets the tap terminates (Drop) and
+	// sources the clones Duplicate delivers. Leave nil when the hosts
+	// downstream run without pooling.
+	Pool *packet.Pool
+
 	// Drop, when non-nil, discards packets it returns true for.
 	Drop func(p *packet.Packet) bool
 	// Delay, when non-nil, defers delivery by the returned duration.
 	Delay func(p *packet.Packet) sim.Time
 	// Duplicate, when non-nil, delivers a second copy of packets it
-	// returns true for (same pointer: the model treats packets as
-	// immutable after transmission except for AQM marking downstream).
+	// returns true for. The copy is a clone, not the same pointer: the
+	// first delivery ends the original's journey (a pooled host recycles
+	// it on return), so the duplicate must own its bytes.
 	Duplicate func(p *packet.Packet) bool
 
 	Dropped    int64
@@ -44,14 +50,22 @@ func (t *Tap) Name() string { return "tap->" + t.dst.Name() }
 func (t *Tap) Receive(p *packet.Packet) {
 	if t.Drop != nil && t.Drop(p) {
 		t.Dropped++
+		t.Pool.Put(p)
 		return
 	}
 	deliver := func() {
 		t.Forwarded++
-		t.dst.Receive(p)
+		// Clone before the first delivery: a pooled destination zeroes and
+		// recycles the original the moment Receive returns.
+		var dup *packet.Packet
 		if t.Duplicate != nil && t.Duplicate(p) {
 			t.Duplicated++
-			t.dst.Receive(p)
+			dup = t.Pool.Get()
+			*dup = *p
+		}
+		t.dst.Receive(p)
+		if dup != nil {
+			t.dst.Receive(dup)
 		}
 	}
 	if t.Delay != nil {

@@ -143,6 +143,11 @@ func NewEmpiricalCDF(points []CDFPoint) (*EmpiricalCDF, error) {
 		return nil, errors.New("dist: empirical CDF needs at least two points")
 	}
 	for i, p := range points {
+		// NaN fails every ordered comparison, so it would sail through the
+		// range and sortedness checks below; reject non-finite knots first.
+		if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) || math.IsNaN(p.Prob) {
+			return nil, fmt.Errorf("dist: CDF point %v/%v not finite at index %d", p.Value, p.Prob, i)
+		}
 		if p.Prob < 0 || p.Prob > 1 {
 			return nil, fmt.Errorf("dist: CDF prob %v out of range at index %d", p.Prob, i)
 		}

@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzEmpiricalCDF feeds arbitrary knot tables to the empirical-CDF
+// loader. Construction must either reject the table with an error or
+// yield a distribution whose quantile function is total, finite,
+// monotone, and bounded by [Min, Max] — the properties the workload
+// generator relies on when it samples flow sizes from paper CDFs.
+func FuzzEmpiricalCDF(f *testing.F) {
+	enc := func(vals ...float64) []byte {
+		var out []byte
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		return out
+	}
+	f.Add(enc(1, 0, 10, 0.5, 100, 1))
+	f.Add(enc(1, 1, 2, 1))
+	f.Add(enc(math.NaN(), 0.5, 1, 1))
+	f.Add(enc(1, math.Inf(1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var points []CDFPoint
+		for i := 0; i+16 <= len(data); i += 16 {
+			points = append(points, CDFPoint{
+				Value: math.Float64frombits(binary.LittleEndian.Uint64(data[i:])),
+				Prob:  math.Float64frombits(binary.LittleEndian.Uint64(data[i+8:])),
+			})
+		}
+		c, err := NewEmpiricalCDF(points)
+		if err != nil {
+			return // rejected: that is a valid outcome for garbage input
+		}
+		lo, hi := c.Min(), c.Max()
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+			t.Fatalf("accepted CDF has bad support [%v, %v]", lo, hi)
+		}
+		if m := c.Mean(); math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("accepted CDF has non-finite mean %v", m)
+		}
+		prev := math.Inf(-1)
+		for i := 0; i <= 64; i++ {
+			u := float64(i) / 64
+			q := c.Quantile(u)
+			if math.IsNaN(q) || q < lo || q > hi {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", u, q, lo, hi)
+			}
+			if q < prev {
+				t.Fatalf("Quantile not monotone: %v after %v at u=%v", q, prev, u)
+			}
+			prev = q
+		}
+	})
+}

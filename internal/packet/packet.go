@@ -92,6 +92,10 @@ type Packet struct {
 	// EnqueuedAt is stamped by the switch queue at enqueue time and read at
 	// dequeue to compute the sojourn time the AQMs act on.
 	EnqueuedAt sim.Time
+
+	// pooled marks packets currently resting in a Pool's free list; Put
+	// panics when it sees it set, catching double-release ownership bugs.
+	pooled bool
 }
 
 // Size returns the wire size of the packet in bytes.

@@ -1,10 +1,12 @@
-package queue
+package queue_test
 
 import (
 	"testing"
 
 	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/bench"
 	"ecnsharp/internal/packet"
+	"ecnsharp/internal/queue"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/trace"
 )
@@ -15,7 +17,7 @@ func benchPacket() *packet.Packet {
 
 // BenchmarkFIFOPushPop measures the raw buffer cost per packet.
 func BenchmarkFIFOPushPop(b *testing.B) {
-	f := NewFIFO()
+	f := queue.NewFIFO()
 	p := benchPacket()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -28,23 +30,10 @@ func BenchmarkFIFOPushPop(b *testing.B) {
 	}
 }
 
-// BenchmarkEgressFIFO measures the full egress path with a sojourn AQM.
-func BenchmarkEgressFIFO(b *testing.B) {
-	eg := NewEgress(1, nil, 0, func(int) aqm.AQM {
-		return aqm.NewREDInstantSojourn(100 * sim.Microsecond)
-	})
-	b.ReportAllocs()
-	now := sim.Time(0)
-	for i := 0; i < b.N; i++ {
-		now += 1200
-		eg.Enqueue(now, benchPacket())
-		if eg.Len() > 256 {
-			for eg.Len() > 32 {
-				eg.Dequeue(now)
-			}
-		}
-	}
-}
+// BenchmarkEgressFIFO measures the full egress path with a sojourn AQM;
+// the body lives in internal/bench so `go test -bench` and the
+// `ecnsharp-bench -json` regression snapshot measure identical code.
+func BenchmarkEgressFIFO(b *testing.B) { bench.EgressFIFO(b) }
 
 // BenchmarkEgressFIFOTracedNop measures the same path as BenchmarkEgressFIFO
 // with a no-op tracer attached: the full cost of event construction and the
@@ -52,7 +41,7 @@ func BenchmarkEgressFIFO(b *testing.B) {
 // benchmark to see the instrumentation ceiling; a nil tracer (the default)
 // costs only the branch.
 func BenchmarkEgressFIFOTracedNop(b *testing.B) {
-	eg := NewEgress(1, nil, 0, func(int) aqm.AQM {
+	eg := queue.NewEgress(1, nil, 0, func(int) aqm.AQM {
 		return aqm.NewREDInstantSojourn(100 * sim.Microsecond)
 	})
 	eg.SetTracer(trace.Nop{}, 0)
@@ -72,7 +61,7 @@ func BenchmarkEgressFIFOTracedNop(b *testing.B) {
 // BenchmarkEgressDWRR measures the scheduler arbitration cost with three
 // weighted queues.
 func BenchmarkEgressDWRR(b *testing.B) {
-	eg := NewEgress(3, NewDWRR([]int{2, 1, 1}), 0, nil)
+	eg := queue.NewEgress(3, queue.NewDWRR([]int{2, 1, 1}), 0, nil)
 	b.ReportAllocs()
 	now := sim.Time(0)
 	for i := 0; i < b.N; i++ {

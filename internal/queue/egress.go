@@ -32,6 +32,13 @@ type Egress struct {
 	// DT "queue length".
 	Pool *SharedPool
 
+	// PacketPool, when non-nil, receives tail-dropped packets for reuse:
+	// a drop terminates the packet's journey, so the egress owns its
+	// release. Enqueue's false return then means the packet has already
+	// been recycled and the caller must not touch it again. A nil pool
+	// leaves dropped packets to the garbage collector.
+	PacketPool *packet.Pool
+
 	bytes int64
 
 	// Tracing. tracer is nil unless attached via SetTracer, so untraced
@@ -131,6 +138,17 @@ func (e *Egress) emit(typ trace.Type, kind trace.MarkKind, now sim.Time, qi int,
 	})
 }
 
+// drop counts and traces a tail drop, then recycles the packet: the drop
+// ends its journey, so the egress is its final owner.
+func (e *Egress) drop(now sim.Time, p *packet.Packet) {
+	e.Drops++
+	e.DropBytes += int64(p.Size())
+	if e.tracer != nil {
+		e.emit(trace.Drop, trace.MarkUnknown, now, e.classQueue(p), p, 0)
+	}
+	e.PacketPool.Put(p)
+}
+
 // markKind attributes a mark applied by queue qi's AQM.
 func (e *Egress) markKind(qi int) trace.MarkKind {
 	if k := e.kinds[qi]; k != nil {
@@ -191,23 +209,17 @@ func (e *Egress) classQueue(p *packet.Packet) int {
 }
 
 // Enqueue admits p at time now, applying enqueue-side AQM marking. It
-// returns false if the packet was tail-dropped on buffer exhaustion.
+// returns false if the packet was tail-dropped on buffer exhaustion; a
+// dropped packet is released to PacketPool (when one is attached) and must
+// not be used by the caller afterwards.
 func (e *Egress) Enqueue(now sim.Time, p *packet.Packet) bool {
 	if e.Pool != nil {
 		if !e.Pool.admit(e.bytes, p.Size()) {
-			e.Drops++
-			e.DropBytes += int64(p.Size())
-			if e.tracer != nil {
-				e.emit(trace.Drop, trace.MarkUnknown, now, e.classQueue(p), p, 0)
-			}
+			e.drop(now, p)
 			return false
 		}
 	} else if e.BufferBytes > 0 && e.bytes+int64(p.Size()) > e.BufferBytes {
-		e.Drops++
-		e.DropBytes += int64(p.Size())
-		if e.tracer != nil {
-			e.emit(trace.Drop, trace.MarkUnknown, now, e.classQueue(p), p, 0)
-		}
+		e.drop(now, p)
 		return false
 	}
 	qi := e.classQueue(p)

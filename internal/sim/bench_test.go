@@ -1,38 +1,18 @@
-package sim
+package sim_test
 
-import "testing"
+import (
+	"testing"
+
+	"ecnsharp/internal/bench"
+)
+
+// The bodies live in internal/bench so `go test -bench` and the
+// `ecnsharp-bench -json` regression snapshot measure identical code.
 
 // BenchmarkScheduleAndRun measures raw event throughput: the entire
 // simulator's speed limit.
-func BenchmarkScheduleAndRun(b *testing.B) {
-	e := NewEngine()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e.Schedule(e.Now()+Time(i%64), func() {})
-		if e.Len() > 1024 {
-			for e.Step() {
-				if e.Len() <= 64 {
-					break
-				}
-			}
-		}
-	}
-	e.Run()
-}
+func BenchmarkScheduleAndRun(b *testing.B) { bench.ScheduleAndRun(b) }
 
 // BenchmarkNestedAfter measures the common pattern of events scheduling
 // their successors (links, timers).
-func BenchmarkNestedAfter(b *testing.B) {
-	e := NewEngine()
-	n := 0
-	var tick func()
-	tick = func() {
-		n++
-		if n < b.N {
-			e.After(100, tick)
-		}
-	}
-	b.ReportAllocs()
-	e.Schedule(0, tick)
-	e.Run()
-}
+func BenchmarkNestedAfter(b *testing.B) { bench.NestedAfter(b) }

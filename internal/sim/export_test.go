@@ -1,0 +1,39 @@
+package sim
+
+import "fmt"
+
+// CheckHeapInvariant verifies the 4-ary min-heap ordering property and the
+// slot/heap cross-references. Tests call it between operations to catch
+// sift bugs that firing order alone might mask.
+func (e *Engine) CheckHeapInvariant() error {
+	n := len(e.heap)
+	for i := 1; i < n; i++ {
+		p := (i - 1) >> 2
+		if e.heap[i].less(e.heap[p]) {
+			return fmt.Errorf("heap order violated: child %d (at=%v seq=%d) < parent %d (at=%v seq=%d)",
+				i, e.heap[i].at, e.heap[i].seq, p, e.heap[p].at, e.heap[p].seq)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := e.heap[i].slot
+		if s < 0 || int(s) >= len(e.slots) {
+			return fmt.Errorf("heap entry %d references slot %d outside arena of %d", i, s, len(e.slots))
+		}
+		if e.slots[s].next != -1 {
+			return fmt.Errorf("heap entry %d references free-listed slot %d", i, s)
+		}
+	}
+	return nil
+}
+
+// FreeSlots counts arena slots currently on the free list (for leak tests).
+func (e *Engine) FreeSlots() int {
+	n := 0
+	for s := e.free; s >= 0; s = e.slots[s].next {
+		n++
+	}
+	return n
+}
+
+// ArenaSize returns the total number of arena slots ever allocated.
+func (e *Engine) ArenaSize() int { return len(e.slots) }

@@ -9,10 +9,17 @@
 // monotonic sequence number breaks ties), and all randomness must flow
 // through explicitly seeded sources, so a simulation is a pure function of
 // its configuration and seed.
+//
+// Memory discipline: the event queue is an inlined 4-ary min-heap over a
+// value slice, and event payloads live in a slot arena recycled through a
+// free list, so steady-state scheduling performs zero heap allocations.
+// Schedule returns a generation-counted Event handle (a small value, not a
+// pointer): canceling a handle whose slot has been recycled is a no-op, so
+// the classic "cancel a timer that already fired" race cannot corrupt an
+// unrelated event. See DESIGN.md "Hot path & memory discipline".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -57,49 +64,53 @@ func Millis(ms float64) Time { return Time(ms * float64(Millisecond)) }
 // Seconds constructs a Time from a second count.
 func Seconds(s float64) Time { return Time(s * float64(Second)) }
 
-// Event is a scheduled callback. The zero Event is invalid.
+// Event is a generation-counted handle to a scheduled callback. It is a
+// small value (not a pointer): copying it is free and holding one does not
+// keep the callback alive. The zero Event references nothing — canceling
+// it is a no-op and Valid reports false — so struct fields of type Event
+// need no sentinel beyond their zero value.
+//
+// A handle is invalidated when its event fires or is canceled; the slot it
+// referenced may then be recycled for a future event. The generation
+// counter guarantees a stale handle can never cancel (or observe) the
+// slot's next tenant.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index; -1 when not queued
-	canceled bool
-	fn       func()
+	slot int32 // arena index + 1; 0 means "no event"
+	gen  uint32
 }
 
-// Time reports when the event fires.
-func (e *Event) Time() Time { return e.at }
+// Valid reports whether the handle was issued by Schedule/After (i.e. is
+// not the zero Event). It does not imply the event is still pending — use
+// Engine.Pending for liveness.
+func (ev Event) Valid() bool { return ev.slot != 0 }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// slot holds one scheduled callback in the engine's arena. Exactly one of
+// fn and afn is non-nil while the event is live; both nil means the event
+// was canceled and its heap entry is pending lazy removal.
+type slot struct {
+	fn   func()
+	afn  func(any)
+	arg  any
+	gen  uint32
+	next int32 // free-list link; -1 while the slot is in use
+}
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*Event
+// entry is one element of the event heap: the ordering key (at, seq) by
+// value plus the arena index of the payload. Keeping the key inline means
+// heap sifting touches no pointers.
+type entry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders entries by (time, sequence): earlier fires first, and equal
+// times fire in scheduling order.
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -109,7 +120,9 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	heap    []entry
+	slots   []slot
+	free    int32 // head of the slot free list; -1 when empty
 	stopped bool
 	tracer  trace.Tracer
 	// Processed counts events executed; useful for progress reporting and
@@ -118,7 +131,7 @@ type Engine struct {
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{free: -1} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -139,54 +152,186 @@ func (e *Engine) Tracer() trace.Tracer { return e.tracer }
 // Len returns the number of queued events. Canceled events count until
 // they are lazily drained from the heap, so Len is an upper bound on the
 // events that will actually fire.
-func (e *Engine) Len() int { return len(e.queue) }
+func (e *Engine) Len() int { return len(e.heap) }
 
-// Schedule runs fn at absolute time at. Scheduling in the past (before the
-// current clock) panics: it always indicates a modelling bug.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// alloc pops a slot from the free list, growing the arena when empty.
+func (e *Engine) alloc() int32 {
+	if s := e.free; s >= 0 {
+		e.free = e.slots[s].next
+		e.slots[s].next = -1
+		return s
+	}
+	e.slots = append(e.slots, slot{gen: 1, next: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// release clears a slot's payload and returns it to the free list. The
+// generation bump invalidates every handle issued for the departing tenant.
+func (e *Engine) release(s int32) {
+	sl := &e.slots[s]
+	sl.fn, sl.afn, sl.arg = nil, nil, nil
+	sl.gen++
+	sl.next = e.free
+	e.free = s
+}
+
+// push inserts en into the 4-ary heap.
+func (e *Engine) push(en entry) {
+	h := append(e.heap, en)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !en.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = en
+	e.heap = h
+}
+
+// pop removes and returns the minimum entry. The heap must be non-empty.
+func (e *Engine) pop() entry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	en := h[n]
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return top
+	}
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].less(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].less(en) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = en
+	return top
+}
+
+// schedule is the common enqueue path; exactly one of fn/afn is non-nil.
+func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	s := e.alloc()
+	sl := &e.slots[s]
+	sl.fn, sl.afn, sl.arg = fn, afn, arg
+	e.push(entry{at: at, seq: e.seq, slot: s})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	return Event{slot: s + 1, gen: sl.gen}
+}
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before the
+// current clock) panics: it always indicates a modelling bug.
+func (e *Engine) Schedule(at Time, fn func()) Event {
+	if fn == nil {
+		panic("sim: schedule of nil callback")
+	}
+	return e.schedule(at, fn, nil, nil)
+}
+
+// ScheduleArg runs fn(arg) at absolute time at. It exists for hot paths
+// that would otherwise close over per-event state: a caller can bind fn
+// once (per port, per host) and pass the varying state as arg, so
+// scheduling allocates nothing. Passing a pointer as arg does not allocate;
+// passing a non-pointer value boxes it.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("sim: schedule of nil callback")
+	}
+	return e.schedule(at, nil, fn, arg)
 }
 
 // After runs fn after delay d from the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel marks ev so that it will not fire. Canceling a nil or already-fired
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+// AfterArg runs fn(arg) after delay d from the current time; see
+// ScheduleArg for when to prefer it over After.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleArg(e.now+d, fn, arg)
+}
+
+// Cancel marks the referenced event so that it will not fire. Canceling
+// the zero Event, an already-canceled event, an already-fired event, or a
+// handle whose slot has been recycled for a newer event is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	i := ev.slot - 1
+	if i < 0 || int(i) >= len(e.slots) {
 		return
 	}
-	ev.canceled = true
-	ev.fn = nil // release references early
+	sl := &e.slots[i]
+	if sl.gen != ev.gen {
+		return // fired, canceled, or recycled since the handle was issued
+	}
+	// Drop the callbacks (releasing references early) and bump the
+	// generation; the heap entry is drained lazily by Step/peek.
+	sl.fn, sl.afn, sl.arg = nil, nil, nil
+	sl.gen++
+}
+
+// Pending reports whether the handle still references a queued,
+// non-canceled event.
+func (e *Engine) Pending(ev Event) bool {
+	i := ev.slot - 1
+	if i < 0 || int(i) >= len(e.slots) {
+		return false
+	}
+	sl := &e.slots[i]
+	return sl.gen == ev.gen && (sl.fn != nil || sl.afn != nil)
 }
 
 // Step executes the next event. It reports false when no events remain or
 // the engine was stopped.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
+	for len(e.heap) > 0 && !e.stopped {
+		en := e.pop()
+		sl := &e.slots[en.slot]
+		fn, afn, arg := sl.fn, sl.afn, sl.arg
+		// The slot is recycled before the callback runs, so an event
+		// rescheduling itself reuses its own slot (at a new generation).
+		e.release(en.slot)
+		if fn == nil && afn == nil {
+			continue // canceled; drain lazily
 		}
-		if ev.at < e.now {
+		if en.at < e.now {
 			panic("sim: event queue time went backwards")
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
+		e.now = en.at
 		e.Processed++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
 	return false
@@ -219,8 +364,8 @@ func (e *Engine) RunChunk(deadline Time, limit int) bool {
 		if e.stopped {
 			return false
 		}
-		next := e.peek()
-		if next == nil || next.at > deadline {
+		at, ok := e.peek()
+		if !ok || at > deadline {
 			return false
 		}
 		e.Step()
@@ -228,8 +373,8 @@ func (e *Engine) RunChunk(deadline Time, limit int) bool {
 	if e.stopped {
 		return false
 	}
-	next := e.peek()
-	return next != nil && next.at <= deadline
+	at, ok := e.peek()
+	return ok && at <= deadline
 }
 
 // AdvanceTo moves the clock forward to t without executing events; moving
@@ -240,16 +385,19 @@ func (e *Engine) AdvanceTo(t Time) {
 	}
 }
 
-// peek returns the next non-canceled event without executing it.
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.canceled {
-			return ev
+// peek returns the firing time of the next non-canceled event, draining
+// canceled entries from the top of the heap as it goes.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.heap) > 0 {
+		en := e.heap[0]
+		sl := &e.slots[en.slot]
+		if sl.fn != nil || sl.afn != nil {
+			return en.at, true
 		}
-		heap.Pop(&e.queue)
+		e.pop()
+		e.release(en.slot)
 	}
-	return nil
+	return 0, false
 }
 
 // Stop halts Run/RunUntil after the current event completes.

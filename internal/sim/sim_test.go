@@ -106,15 +106,42 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.Schedule(10, func() { fired = true })
+	if !ev.Valid() || !e.Pending(ev) {
+		t.Fatal("fresh handle not valid/pending")
+	}
 	e.Cancel(ev)
-	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)      // double cancel is a no-op
+	e.Cancel(Event{}) // zero handle is a no-op
 	e.Run()
 	if fired {
 		t.Error("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Error("Canceled() = false after Cancel")
+	if e.Pending(ev) {
+		t.Error("Pending() = true after Cancel")
+	}
+}
+
+func TestEngineCancelRecycledHandleIsNoop(t *testing.T) {
+	e := NewEngine()
+	firstFired, secondFired := false, false
+	first := e.Schedule(10, func() { firstFired = true })
+	e.Run()
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	// The second event recycles the first's arena slot; the stale handle
+	// must not be able to cancel the new tenant.
+	second := e.Schedule(20, func() { secondFired = true })
+	e.Cancel(first)
+	if !e.Pending(second) {
+		t.Fatal("stale handle canceled a recycled event")
+	}
+	e.Run()
+	if !secondFired {
+		t.Error("recycled event did not fire after stale Cancel")
+	}
+	if e.Pending(first) || e.Pending(second) {
+		t.Error("fired events still pending")
 	}
 }
 
@@ -211,7 +238,7 @@ func TestEngineMonotonicClockProperty(t *testing.T) {
 func TestEngineHeavyInterleaving(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	e := NewEngine()
-	var pending []*Event
+	var pending []Event
 	fired := 0
 	var spawn func()
 	spawn = func() {

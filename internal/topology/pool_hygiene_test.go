@@ -1,0 +1,118 @@
+package topology_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/core"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/trace"
+	"ecnsharp/internal/transport"
+)
+
+// streamTracer renders every event it sees, in order, into one string.
+// Any divergence between two runs — one extra mark, one reordered
+// enqueue, one stale field on a recycled packet — becomes a byte diff.
+type streamTracer struct{ b strings.Builder }
+
+func (s *streamTracer) Trace(e trace.Event) {
+	fmt.Fprintf(&s.b, "%d %d %d %d %d %d %d %d %d %d %d %d %v\n",
+		e.Type, e.Mark, e.At, e.Port, e.Queue, e.FlowID, e.Src, e.Dst,
+		e.Seq, e.Size, e.Dur, e.QueuePackets, e.Value)
+}
+
+// runTracedIncast drives a 16-to-1 incast with tail drops, per-flow extra
+// delays and delayed ACKs — every packet path that touches the pool
+// (alloc, forward, drop-release, terminal-release, delayed send) — and
+// returns the full rendered event stream plus completion times.
+func runTracedIncast(t *testing.T, noPool bool) (string, *topology.Net) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := topology.Star(eng, 17, topology.Options{
+		Link: topology.LinkParams{
+			RateBps:   topology.TenGbps,
+			PropDelay: sim.Microsecond,
+			// Small enough that the synchronized burst tail-drops.
+			BufferBytes: 64 * 1500,
+		},
+		NewAQM: func(int) aqm.AQM {
+			return aqm.MustNewECNSharp(testParams())
+		},
+		NoPacketPool: noPool,
+	})
+	tr := &streamTracer{}
+	net.AttachTracer(tr)
+
+	cfg := transport.DefaultConfig()
+	cfg.InitCwndSegments = 8
+	cfg.DelayedAckCount = 2
+	var fcts []sim.Time
+	for f := 0; f < 32; f++ {
+		src := net.Host(f % 16)
+		src.SetFlowDelay(uint64(f+1), sim.Time(f%5)*sim.Microsecond)
+		transport.StartFlow(eng, cfg, src, net.Host(16), uint64(f+1), 50_000, 0,
+			func(fl *transport.Flow) { fcts = append(fcts, fl.FCT) })
+	}
+	eng.Run()
+	if len(fcts) != 32 {
+		t.Fatalf("incast incomplete: %d/32 flows finished", len(fcts))
+	}
+	for _, fct := range fcts {
+		fmt.Fprintf(&tr.b, "fct %d\n", fct)
+	}
+	return tr.b.String(), net
+}
+
+// TestPacketPoolHygieneByteIdentical: a traced incast with packet
+// recycling enabled renders byte-identically to the same incast with the
+// pool disabled. This is the pool's correctness contract: recycled
+// packets must be indistinguishable from freshly allocated ones, so
+// pooling can never change simulation results.
+func TestPacketPoolHygieneByteIdentical(t *testing.T) {
+	pooled, net := runTracedIncast(t, false)
+	plain, plainNet := runTracedIncast(t, true)
+
+	if pooled != plain {
+		d := firstDiffLine(pooled, plain)
+		t.Fatalf("pooling changed the simulation; first divergence:\n pooled: %s\n  plain: %s", d[0], d[1])
+	}
+	if net.PacketPool == nil {
+		t.Fatal("default options did not build a packet pool")
+	}
+	if plainNet.PacketPool != nil {
+		t.Fatal("NoPacketPool still built a pool")
+	}
+	// The pool must actually have recycled packets, or the test proves
+	// nothing: with tail drops and 32 flows the free list turns over many
+	// times, so fresh allocations must be a small fraction of handouts.
+	pl := net.PacketPool
+	if pl.Puts == 0 || pl.Gets == 0 {
+		t.Fatalf("pool unused: gets=%d puts=%d", pl.Gets, pl.Puts)
+	}
+	// (fresh allocations track the peak in-flight population, roughly an
+	// eighth of total handouts in this scenario).
+	if pl.News*4 > pl.Gets {
+		t.Errorf("pool barely recycling: %d fresh allocations out of %d handouts", pl.News, pl.Gets)
+	}
+}
+
+func firstDiffLine(a, b string) [2]string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return [2]string{la[i], lb[i]}
+		}
+	}
+	return [2]string{fmt.Sprintf("<%d lines>", len(la)), fmt.Sprintf("<%d lines>", len(lb))}
+}
+
+func testParams() core.Params {
+	return core.Params{
+		InsTarget:   200 * sim.Microsecond,
+		PstTarget:   50 * sim.Microsecond,
+		PstInterval: 150 * sim.Microsecond,
+	}
+}

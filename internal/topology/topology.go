@@ -8,6 +8,7 @@ import (
 
 	"ecnsharp/internal/aqm"
 	"ecnsharp/internal/device"
+	"ecnsharp/internal/packet"
 	"ecnsharp/internal/queue"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/trace"
@@ -42,6 +43,11 @@ type Options struct {
 	// switch ASICs buffer); DTAlpha is the threshold factor (default 1).
 	SharedBufferBytes int64
 	DTAlpha           float64
+	// NoPacketPool disables the per-network packet free list (the zero
+	// value keeps recycling on). Results are byte-identical either way —
+	// the pool-hygiene regression test flips this to prove it — so the
+	// switch exists for debugging ownership bugs, not for correctness.
+	NoPacketPool bool
 }
 
 func (o *Options) defaults() {
@@ -55,6 +61,12 @@ type Net struct {
 	Engine   *sim.Engine
 	Hosts    []*device.Host
 	Switches []*device.Switch
+
+	// PacketPool recycles packets across the whole network: transports
+	// allocate from it, destination hosts and dropping queues release to
+	// it. One pool per Net keeps parallel experiment jobs isolated. Nil
+	// when Options.NoPacketPool was set.
+	PacketPool *packet.Pool
 
 	// SwitchPorts lists every switch egress port (for drop/mark census).
 	SwitchPorts []*device.Port
@@ -133,9 +145,17 @@ func newPool(o *Options) *queue.SharedPool {
 	return queue.NewSharedPool(o.SharedBufferBytes, alpha)
 }
 
+// newPacketPool builds the per-network packet free list unless disabled.
+func newPacketPool(o *Options) *packet.Pool {
+	if o.NoPacketPool {
+		return nil
+	}
+	return &packet.Pool{}
+}
+
 // newEgress builds a switch egress buffer per the options; pool may be
 // nil for static per-port buffering.
-func newEgress(o *Options, pool *queue.SharedPool) *queue.Egress {
+func newEgress(o *Options, pool *queue.SharedPool, pkts *packet.Pool) *queue.Egress {
 	var sched queue.Scheduler
 	if o.NewSched != nil {
 		sched = o.NewSched()
@@ -146,12 +166,15 @@ func newEgress(o *Options, pool *queue.SharedPool) *queue.Egress {
 	}
 	eg := queue.NewEgress(o.NumQueues, sched, o.Link.BufferBytes, factory)
 	eg.Pool = pool
+	eg.PacketPool = pkts
 	return eg
 }
 
 // newHostEgress builds a host NIC queue: single FIFO, no marking.
-func newHostEgress(o *Options) *queue.Egress {
-	return queue.NewEgress(1, queue.FIFOSched{}, o.HostBufferBytes, nil)
+func newHostEgress(o *Options, pkts *packet.Pool) *queue.Egress {
+	eg := queue.NewEgress(1, queue.FIFOSched{}, o.HostBufferBytes, nil)
+	eg.PacketPool = pkts
+	return eg
 }
 
 // Star builds n hosts attached to one switch. Any host can talk to any
@@ -164,11 +187,13 @@ func Star(eng *sim.Engine, n int, opts Options) *Net {
 	opts.defaults()
 	sw := device.NewSwitch(eng, "sw0")
 	pool := newPool(&opts)
-	net := &Net{Engine: eng, Switches: []*device.Switch{sw}, hostPorts: make(map[int]*device.Port)}
+	pkts := newPacketPool(&opts)
+	net := &Net{Engine: eng, Switches: []*device.Switch{sw}, PacketPool: pkts, hostPorts: make(map[int]*device.Port)}
 	for i := 0; i < n; i++ {
 		h := device.NewHost(eng, i)
-		h.NIC = device.NewPort(eng, newHostEgress(&opts), opts.Link.RateBps, opts.Link.PropDelay, sw)
-		down := device.NewPort(eng, newEgress(&opts, pool), opts.Link.RateBps, opts.Link.PropDelay, h)
+		h.Pool = pkts
+		h.NIC = device.NewPort(eng, newHostEgress(&opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
+		down := device.NewPort(eng, newEgress(&opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
 		net.SwitchPorts = append(net.SwitchPorts, down)
@@ -188,11 +213,12 @@ func Dumbbell(eng *sim.Engine, nPairs int, opts Options) *Net {
 	left := device.NewSwitch(eng, "left")
 	right := device.NewSwitch(eng, "right")
 	leftPool, rightPool := newPool(&opts), newPool(&opts)
-	net := &Net{Engine: eng, Switches: []*device.Switch{left, right}, hostPorts: make(map[int]*device.Port)}
+	pkts := newPacketPool(&opts)
+	net := &Net{Engine: eng, Switches: []*device.Switch{left, right}, PacketPool: pkts, hostPorts: make(map[int]*device.Port)}
 
 	// The inter-switch bottleneck carries AQM in both directions.
-	l2r := device.NewPort(eng, newEgress(&opts, leftPool), opts.Link.RateBps, opts.Link.PropDelay, right)
-	r2l := device.NewPort(eng, newEgress(&opts, rightPool), opts.Link.RateBps, opts.Link.PropDelay, left)
+	l2r := device.NewPort(eng, newEgress(&opts, leftPool, pkts), opts.Link.RateBps, opts.Link.PropDelay, right)
+	r2l := device.NewPort(eng, newEgress(&opts, rightPool, pkts), opts.Link.RateBps, opts.Link.PropDelay, left)
 	net.SwitchPorts = append(net.SwitchPorts, l2r, r2l)
 
 	for i := 0; i < 2*nPairs; i++ {
@@ -201,8 +227,9 @@ func Dumbbell(eng *sim.Engine, nPairs int, opts Options) *Net {
 		if i >= nPairs {
 			sw, pool = right, rightPool
 		}
-		h.NIC = device.NewPort(eng, newHostEgress(&opts), opts.Link.RateBps, opts.Link.PropDelay, sw)
-		down := device.NewPort(eng, newEgress(&opts, pool), opts.Link.RateBps, opts.Link.PropDelay, h)
+		h.Pool = pkts
+		h.NIC = device.NewPort(eng, newHostEgress(&opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
+		down := device.NewPort(eng, newEgress(&opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
 		net.SwitchPorts = append(net.SwitchPorts, down)
@@ -225,7 +252,8 @@ func LeafSpine(eng *sim.Engine, spines, leaves, hostsPerLeaf int, opts Options) 
 		panic("topology: leaf-spine dimensions must be positive")
 	}
 	opts.defaults()
-	net := &Net{Engine: eng, hostPorts: make(map[int]*device.Port)}
+	pkts := newPacketPool(&opts)
+	net := &Net{Engine: eng, PacketPool: pkts, hostPorts: make(map[int]*device.Port)}
 
 	spineSw := make([]*device.Switch, spines)
 	spinePools := make([]*queue.SharedPool, spines)
@@ -247,8 +275,9 @@ func LeafSpine(eng *sim.Engine, spines, leaves, hostsPerLeaf int, opts Options) 
 		for k := 0; k < hostsPerLeaf; k++ {
 			id := l*hostsPerLeaf + k
 			h := device.NewHost(eng, id)
-			h.NIC = device.NewPort(eng, newHostEgress(&opts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
-			down := device.NewPort(eng, newEgress(&opts, leafPools[l]), opts.Link.RateBps, opts.Link.PropDelay, h)
+			h.Pool = pkts
+			h.NIC = device.NewPort(eng, newHostEgress(&opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
+			down := device.NewPort(eng, newEgress(&opts, leafPools[l], pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 			leafSw[l].AddRoute(id, down)
 			net.hostPorts[id] = down
 			net.SwitchPorts = append(net.SwitchPorts, down)
@@ -259,8 +288,8 @@ func LeafSpine(eng *sim.Engine, spines, leaves, hostsPerLeaf int, opts Options) 
 	// Leaf <-> spine fabric links and routes.
 	for l := 0; l < leaves; l++ {
 		for s := 0; s < spines; s++ {
-			up := device.NewPort(eng, newEgress(&opts, leafPools[l]), opts.Link.RateBps, opts.Link.PropDelay, spineSw[s])
-			down := device.NewPort(eng, newEgress(&opts, spinePools[s]), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
+			up := device.NewPort(eng, newEgress(&opts, leafPools[l], pkts), opts.Link.RateBps, opts.Link.PropDelay, spineSw[s])
+			down := device.NewPort(eng, newEgress(&opts, spinePools[s], pkts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
 			net.SwitchPorts = append(net.SwitchPorts, up, down)
 			// Leaf l reaches every non-local host through any spine (ECMP).
 			for dst := 0; dst < leaves*hostsPerLeaf; dst++ {

@@ -3,61 +3,16 @@ package transport_test
 import (
 	"testing"
 
-	"ecnsharp/internal/aqm"
-	"ecnsharp/internal/sim"
-	"ecnsharp/internal/topology"
-	"ecnsharp/internal/transport"
+	"ecnsharp/internal/bench"
 )
 
-// BenchmarkBulkTransfer measures whole-stack simulation throughput: one
-// 10 MB DCTCP flow through a marking switch, reported as ns per simulated
-// packet-hop roughly (the dominant cost of every experiment).
-func BenchmarkBulkTransfer(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine()
-		net := topology.Star(eng, 3, topology.Options{
-			Link: topology.LinkParams{
-				RateBps:     topology.TenGbps,
-				PropDelay:   2 * sim.Microsecond,
-				BufferBytes: 600 * 1500,
-			},
-			NewAQM: func(int) aqm.AQM { return aqm.NewREDInstantBytes(100 * 1500) },
-		})
-		cfg := transport.DefaultConfig()
-		fl1 := transport.StartFlow(eng, cfg, net.Host(0), net.Host(2), 1, 10_000_000, 0, nil)
-		fl2 := transport.StartFlow(eng, cfg, net.Host(1), net.Host(2), 2, 10_000_000, 0, nil)
-		eng.Run()
-		if !fl1.Done || !fl2.Done {
-			b.Fatal("flows incomplete")
-		}
-	}
-}
+// The bodies live in internal/bench so `go test -bench` and the
+// `ecnsharp-bench -json` regression snapshot measure identical code.
+
+// BenchmarkBulkTransfer measures whole-stack simulation throughput: two
+// 10 MB DCTCP flows through a marking switch.
+func BenchmarkBulkTransfer(b *testing.B) { bench.BulkTransfer(b) }
 
 // BenchmarkIncastBurst measures the cost of the synchronized-burst
 // scenario that dominates the Figure 10/11 experiments.
-func BenchmarkIncastBurst(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine()
-		net := topology.Star(eng, 17, topology.Options{
-			Link: topology.LinkParams{
-				RateBps:     topology.TenGbps,
-				PropDelay:   sim.Microsecond,
-				BufferBytes: 600 * 1500,
-			},
-			NewAQM: func(int) aqm.AQM { return aqm.NewREDInstantBytes(180 * 1500) },
-		})
-		cfg := transport.DefaultConfig()
-		cfg.InitCwndSegments = 2
-		done := 0
-		for f := 0; f < 64; f++ {
-			transport.StartFlow(eng, cfg, net.Host(f%16), net.Host(16),
-				uint64(f+1), 30_000, 0, func(*transport.Flow) { done++ })
-		}
-		eng.Run()
-		if done != 64 {
-			b.Fatal("burst incomplete")
-		}
-	}
-}
+func BenchmarkIncastBurst(b *testing.B) { bench.IncastBurst(b) }

@@ -105,9 +105,15 @@ type DCQCNSender struct {
 	riStage    int // rate-increase stages since the last cut
 	dupAcks    int
 	recovering bool // go-back-N issued; ignore NAKs until sndUna advances
-	sendTimer  *sim.Event
-	rtoTimer   *sim.Event
-	alphaTimer *sim.Event
+	sendTimer  sim.Event
+	rtoTimer   sim.Event
+	alphaTimer sim.Event
+
+	// Timer callbacks bound once so the paced send loop and periodic
+	// timers never allocate a closure per arming.
+	sendLoopFn func()
+	alphaFn    func()
+	rtoFn      func()
 
 	// jitter desynchronizes this flow's periodic timer from its peers
 	// (hardware timers are never phase-locked; simulated ones are, and
@@ -137,7 +143,7 @@ func NewDCQCNSender(eng *sim.Engine, cfg DCQCNConfig, host *device.Host,
 	if size <= 0 {
 		panic("transport: DCQCN flow needs positive size")
 	}
-	return &DCQCNSender{
+	s := &DCQCNSender{
 		eng: eng, cfg: cfg, host: host,
 		flowID: flowID, dst: dst, size: size,
 		rc: cfg.LineRateBps, rt: cfg.LineRateBps,
@@ -145,6 +151,10 @@ func NewDCQCNSender(eng *sim.Engine, cfg DCQCNConfig, host *device.Host,
 		jitter: sim.Time(flowID%13) * sim.Microsecond,
 		onDone: onDone,
 	}
+	s.sendLoopFn = s.sendLoop
+	s.alphaFn = s.onAlphaTimer
+	s.rtoFn = s.onRTO
+	return s
 }
 
 // Rate returns the current sending rate in bits/second.
@@ -237,22 +247,24 @@ func (s *DCQCNSender) maybeCut(now sim.Time) {
 
 // scheduleAlpha runs the periodic α update and rate increase.
 func (s *DCQCNSender) scheduleAlpha() {
-	s.alphaTimer = s.eng.After(s.cfg.AlphaTimer+s.jitter, func() {
-		if s.finished {
-			return
-		}
-		// α update: toward 1 if a CNP arrived this period, toward 0 otherwise.
-		if s.cnpSeen {
-			s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G
-			s.cnpSeen = false
-		} else {
-			s.alpha = (1 - s.cfg.G) * s.alpha
-		}
-		// Rate increase runs every period; a cut resets the stage counter,
-		// so recovery restarts from fast recovery after each decrease.
-		s.increase()
-		s.scheduleAlpha()
-	})
+	s.alphaTimer = s.eng.After(s.cfg.AlphaTimer+s.jitter, s.alphaFn)
+}
+
+func (s *DCQCNSender) onAlphaTimer() {
+	if s.finished {
+		return
+	}
+	// α update: toward 1 if a CNP arrived this period, toward 0 otherwise.
+	if s.cnpSeen {
+		s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G
+		s.cnpSeen = false
+	} else {
+		s.alpha = (1 - s.cfg.G) * s.alpha
+	}
+	// Rate increase runs every period; a cut resets the stage counter,
+	// so recovery restarts from fast recovery after each decrease.
+	s.increase()
+	s.scheduleAlpha()
 }
 
 // increase runs one rate-increase stage (fast recovery, then additive,
@@ -288,31 +300,36 @@ func (s *DCQCNSender) sendLoop() {
 	}
 	s.emit(s.sndNxt, int(n))
 	s.sndNxt += n
-	if s.rtoTimer == nil {
+	if !s.rtoTimer.Valid() {
 		s.armRTO()
 	}
 	if s.sndNxt < s.size {
 		gap := sim.Time(float64(int(n)+packet.HeaderSize) * 8 / s.rc * float64(sim.Second))
-		s.sendTimer = s.eng.After(gap, s.sendLoop)
+		s.sendTimer = s.eng.After(gap, s.sendLoopFn)
 	}
 }
 
 func (s *DCQCNSender) emit(seq int64, n int) {
 	s.Stats.SentPackets++
-	s.host.Send(&packet.Packet{
-		FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
-		Kind: packet.Data, Seq: seq, PayloadLen: n,
-		ECN: packet.ECT, TSVal: s.eng.Now(),
-	})
+	p := s.host.AllocPacket()
+	p.FlowID = s.flowID
+	p.Src = s.host.ID
+	p.Dst = s.dst
+	p.Kind = packet.Data
+	p.Seq = seq
+	p.PayloadLen = n
+	p.ECN = packet.ECT
+	p.TSVal = s.eng.Now()
+	s.host.Send(p)
 }
 
 // goBackN rewinds transmission to the first unacknowledged byte.
 func (s *DCQCNSender) goBackN() {
 	s.Stats.Retransmits++
 	s.recovering = true
-	if s.sendTimer != nil {
+	if s.sendTimer.Valid() {
 		s.eng.Cancel(s.sendTimer)
-		s.sendTimer = nil
+		s.sendTimer = sim.Event{}
 	}
 	s.sndNxt = s.sndUna
 	s.armRTO()
@@ -320,23 +337,25 @@ func (s *DCQCNSender) goBackN() {
 }
 
 func (s *DCQCNSender) armRTO() {
-	if s.rtoTimer != nil {
+	if s.rtoTimer.Valid() {
 		s.eng.Cancel(s.rtoTimer)
 	}
-	s.rtoTimer = s.eng.After(s.cfg.MinRTO, func() {
-		s.rtoTimer = nil
-		if s.finished || s.sndUna >= s.sndNxt {
-			return
-		}
-		s.Stats.Timeouts++
-		s.goBackN()
-	})
+	s.rtoTimer = s.eng.After(s.cfg.MinRTO, s.rtoFn)
+}
+
+func (s *DCQCNSender) onRTO() {
+	s.rtoTimer = sim.Event{}
+	if s.finished || s.sndUna >= s.sndNxt {
+		return
+	}
+	s.Stats.Timeouts++
+	s.goBackN()
 }
 
 func (s *DCQCNSender) finish(now sim.Time) {
 	s.finished = true
-	for _, ev := range []*sim.Event{s.sendTimer, s.rtoTimer, s.alphaTimer} {
-		if ev != nil {
+	for _, ev := range [...]sim.Event{s.sendTimer, s.rtoTimer, s.alphaTimer} {
+		if ev.Valid() {
 			s.eng.Cancel(ev)
 		}
 	}

@@ -33,7 +33,8 @@ type Receiver struct {
 	pendingTS   sim.Time
 	lastCE      bool
 	haveCE      bool
-	ackTimer    *sim.Event
+	ackTimer    sim.Event
+	ackTimerFn  func() // bound once so arming the timer never allocates
 
 	// Stats.
 	DataPackets  int64
@@ -59,6 +60,12 @@ func NewReceiver(eng *sim.Engine, cfg Config, host *device.Host, flowID uint64, 
 		src:    src,
 		ooo:    make(map[int64]int),
 	}
+	r.ackTimerFn = func() {
+		r.ackTimer = sim.Event{}
+		if r.pendingAcks > 0 {
+			r.sendAck(r.eng.Now(), r.pendingTS, r.lastCE)
+		}
+	}
 	host.Register(flowID, r)
 	return r
 }
@@ -69,9 +76,9 @@ func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
 // Close unregisters the receiver and cancels any pending delayed ACK.
 func (r *Receiver) Close() {
 	r.host.Unregister(r.flowID)
-	if r.ackTimer != nil {
+	if r.ackTimer.Valid() {
 		r.eng.Cancel(r.ackTimer)
-		r.ackTimer = nil
+		r.ackTimer = sim.Event{}
 	}
 }
 
@@ -151,34 +158,28 @@ func (r *Receiver) ackData(now sim.Time, p *packet.Packet, ce, immediate bool) {
 		r.sendAck(now, r.pendingTS, r.lastCE)
 		return
 	}
-	if r.ackTimer == nil {
-		r.ackTimer = r.eng.After(r.cfg.DelayedAckTimeout, func() {
-			r.ackTimer = nil
-			if r.pendingAcks > 0 {
-				r.sendAck(r.eng.Now(), r.pendingTS, r.lastCE)
-			}
-		})
+	if !r.ackTimer.Valid() {
+		r.ackTimer = r.eng.After(r.cfg.DelayedAckTimeout, r.ackTimerFn)
 	}
 }
 
 // sendAck emits a cumulative ACK with the ECN echo bit.
 func (r *Receiver) sendAck(_ sim.Time, tsEcr sim.Time, ece bool) {
 	r.pendingAcks = 0
-	if r.ackTimer != nil {
+	if r.ackTimer.Valid() {
 		r.eng.Cancel(r.ackTimer)
-		r.ackTimer = nil
+		r.ackTimer = sim.Event{}
 	}
-	ack := &packet.Packet{
-		FlowID: r.flowID,
-		Src:    r.host.ID,
-		Dst:    r.src,
-		Kind:   packet.Ack,
-		AckSeq: r.rcvNxt,
-		ECE:    ece,
-		ECN:    packet.NotECT,
-		TSEcr:  tsEcr,
-		Class:  r.cfg.Class,
-	}
+	ack := r.host.AllocPacket()
+	ack.FlowID = r.flowID
+	ack.Src = r.host.ID
+	ack.Dst = r.src
+	ack.Kind = packet.Ack
+	ack.AckSeq = r.rcvNxt
+	ack.ECE = ece
+	ack.ECN = packet.NotECT
+	ack.TSEcr = tsEcr
+	ack.Class = r.cfg.Class
 	r.AcksSent++
 	r.host.Send(ack)
 }

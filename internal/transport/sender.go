@@ -51,7 +51,8 @@ type Sender struct {
 	hasSample bool
 	backoff   uint
 
-	rtoTimer *sim.Event
+	rtoTimer sim.Event
+	onRTOFn  func() // bound once so re-arming the timer never allocates
 
 	started   bool
 	finished  bool
@@ -97,6 +98,7 @@ func NewSender(eng *sim.Engine, cfg Config, host *device.Host, flowID uint64,
 	}
 	s.cwnd = float64(cfg.InitCwndSegments * cfg.MSS)
 	s.ssthresh = float64(1 << 30) // effectively infinite until first cut
+	s.onRTOFn = s.onRTO
 	return s
 }
 
@@ -270,7 +272,7 @@ func (s *Sender) trySend() {
 		s.sendSegment(s.sndNxt, false)
 		s.sndNxt += int64(s.segLen(s.sndNxt))
 	}
-	if s.sndUna < s.sndNxt && s.rtoTimer == nil {
+	if s.sndUna < s.sndNxt && !s.rtoTimer.Valid() {
 		s.armRTO()
 	}
 }
@@ -285,17 +287,16 @@ func (s *Sender) segLen(seq int64) int {
 }
 
 func (s *Sender) sendSegment(seq int64, isRetransmit bool) {
-	p := &packet.Packet{
-		FlowID:     s.flowID,
-		Src:        s.host.ID,
-		Dst:        s.dst,
-		Kind:       packet.Data,
-		Seq:        seq,
-		PayloadLen: s.segLen(seq),
-		ECN:        packet.ECT,
-		TSVal:      s.eng.Now(),
-		Class:      s.cfg.Class,
-	}
+	p := s.host.AllocPacket()
+	p.FlowID = s.flowID
+	p.Src = s.host.ID
+	p.Dst = s.dst
+	p.Kind = packet.Data
+	p.Seq = seq
+	p.PayloadLen = s.segLen(seq)
+	p.ECN = packet.ECT
+	p.TSVal = s.eng.Now()
+	p.Class = s.cfg.Class
 	s.Stats.SentPackets++
 	s.Stats.SentBytes += int64(p.Size())
 	if isRetransmit {
@@ -339,20 +340,20 @@ func (s *Sender) armRTO() {
 	if d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
 	}
-	s.rtoTimer = s.eng.After(d, s.onRTO)
+	s.rtoTimer = s.eng.After(d, s.onRTOFn)
 }
 
 func (s *Sender) cancelRTO() {
-	if s.rtoTimer != nil {
+	if s.rtoTimer.Valid() {
 		s.eng.Cancel(s.rtoTimer)
-		s.rtoTimer = nil
+		s.rtoTimer = sim.Event{}
 	}
 }
 
 // onRTO handles a retransmission timeout: collapse the window, go back to
 // the first unacked byte, and back off the timer.
 func (s *Sender) onRTO() {
-	s.rtoTimer = nil
+	s.rtoTimer = sim.Event{}
 	if s.finished || s.sndUna >= s.sndNxt {
 		return
 	}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadSpecs feeds arbitrary bytes to the trace loader. Parsing must
+// never panic; when it accepts the input, the decoded specs must survive
+// a Write/Read round trip unchanged — the property replayed experiment
+// traces depend on.
+func FuzzReadSpecs(f *testing.F) {
+	f.Add([]byte("src,dst,size,start_ns,query\n0,1,1000,0,false\n"))
+	f.Add([]byte("2,3,30000,150000,true\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("src,dst,size,start_ns,query\n-1,-2,-3,-4,true\n"))
+	f.Add([]byte("a,b,c,d,e\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		specs, err := ReadSpecs(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: a valid outcome for malformed traces
+		}
+		var buf bytes.Buffer
+		if err := WriteSpecs(&buf, specs); err != nil {
+			t.Fatalf("re-serializing accepted trace: %v", err)
+		}
+		again, err := ReadSpecs(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing own output: %v", err)
+		}
+		if !reflect.DeepEqual(specs, again) {
+			t.Fatalf("round trip changed specs:\n got %+v\nwant %+v", again, specs)
+		}
+	})
+}
