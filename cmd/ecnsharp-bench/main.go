@@ -39,11 +39,15 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit per individual run, e.g. 2m (0 = none)")
 	progress := flag.Bool("progress", false, "report each completed run on stderr")
 	jsonOut := flag.String("json", "", "run the runtime benchmark suite and write results to this file")
-	compare := flag.String("compare", "", "with -json: fail when results regress beyond the committed baseline in this file")
-	tolerance := flag.Float64("tolerance", 0.10, "with -compare: allowed relative ns/op slowdown before failing")
+	compare := flag.String("compare", "", "with -json/-scalejson: fail when results regress beyond the committed baseline in this file")
+	tolerance := flag.Float64("tolerance", 0.10, "with -compare: allowed relative slowdown/growth before failing")
+	scaleJSON := flag.String("scalejson", "", "run the sharded scale benchmark and write results to this file")
+	scaleHosts := flag.String("scalehosts", "1024,10240", "with -scalejson: comma-separated host tiers (1024, 10240, 100000)")
+	scaleShards := flag.String("scaleshards", "1,4", "with -scalejson: comma-separated shard (worker) counts per tier")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ecnsharp-bench [-scale quick|full|smoke] [-parallel N] [-list] [ids...]\n")
-		fmt.Fprintf(os.Stderr, "       ecnsharp-bench -json FILE [-compare BASELINE] [-tolerance F]\n\n")
+		fmt.Fprintf(os.Stderr, "       ecnsharp-bench -json FILE [-compare BASELINE] [-tolerance F]\n")
+		fmt.Fprintf(os.Stderr, "       ecnsharp-bench -scalejson FILE [-scalehosts T,..] [-scaleshards N,..] [-compare BASELINE]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the evaluation artifacts of the ECN# paper (CoNEXT'19).\n\n")
 		flag.PrintDefaults()
 	}
@@ -51,6 +55,21 @@ func main() {
 
 	if *jsonOut != "" {
 		if err := runBenchSuite(*jsonOut, *compare, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsharp-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaleJSON != "" {
+		tiers, err := parseIntList(*scaleHosts, "scalehosts")
+		if err == nil {
+			var shards []int
+			shards, err = parseIntList(*scaleShards, "scaleshards")
+			if err == nil {
+				err = runScaleSuite(*scaleJSON, tiers, shards, *compare, *tolerance)
+			}
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "ecnsharp-bench:", err)
 			os.Exit(1)
 		}

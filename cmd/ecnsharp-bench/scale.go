@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ecnsharp/internal/experiments"
+)
+
+// scaleResult is one (hosts, shards) cell of BENCH_scale.json.
+type scaleResult struct {
+	Hosts          int     `json:"hosts"`
+	Shards         int     `json:"shards"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	BytesPerHost   float64 `json:"bytes_per_host"`
+	CompletedFlows int     `json:"completed_flows"`
+}
+
+// scaleReport is the schema of BENCH_scale.json.
+type scaleReport struct {
+	Note string `json:"note"`
+	// NumCPU records the runner class: the 4-shard speedup gate only
+	// applies when the machine can actually run 4 workers.
+	NumCPU int                    `json:"num_cpu"`
+	Cells  map[string]scaleResult `json:"cells"`
+}
+
+func scaleKey(hosts, shards int) string {
+	return fmt.Sprintf("hosts=%d/shards=%d", hosts, shards)
+}
+
+// parseIntList parses "1024,10240" into ints.
+func parseIntList(s, flagName string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s entry %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runScaleCell executes one benchmark cell and measures it. Memory is the
+// post-run live heap after a forced GC divided by the host count — the
+// steady-state footprint of the fabric plus flow bookkeeping, not transient
+// garbage — and events/sec is engine-processed events over wall clock.
+func runScaleCell(cell experiments.ScaleCell, shards int) scaleResult {
+	cfg := experiments.ScaleCellConfig(cell, shards)
+	start := time.Now() //lint:allow wallclock -- measures real benchmark runtime for the JSON report
+	res := experiments.Run(cfg)
+	wall := time.Since(start).Seconds() //lint:allow wallclock -- measures real benchmark runtime for the JSON report
+
+	events := res.Net.Shard.Processed()
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	out := scaleResult{
+		Hosts:          cell.Hosts,
+		Shards:         shards,
+		Events:         events,
+		EventsPerSec:   float64(events) / wall,
+		WallSeconds:    wall,
+		BytesPerHost:   float64(ms.HeapAlloc) / float64(cell.Hosts),
+		CompletedFlows: res.Completed,
+	}
+	if res.Completed != res.Injected {
+		fmt.Fprintf(os.Stderr, "warning: %s completed %d/%d flows\n",
+			scaleKey(cell.Hosts, shards), res.Completed, res.Injected)
+	}
+	return out
+}
+
+// runScaleSuite measures every (hosts, shards) cell, writes the report to
+// out, and (when baseline is non-empty) gates against it: bytes/host may
+// not grow beyond tol, and on a runner with >= 4 CPUs the 4-shard cell
+// must reach 1.5x the 1-shard events/sec for the same host count (on
+// narrower machines the speedup is reported but informational — one core
+// cannot exhibit parallelism).
+func runScaleSuite(out string, hostTiers, shardCounts []int, baseline string, tol float64) error {
+	rep := scaleReport{
+		Note: "Regenerate with: go run ./cmd/ecnsharp-bench -scalejson BENCH_scale.json " +
+			"-scalehosts 1024,10240 -scaleshards 1,4 (see EXPERIMENTS.md; wall clock and " +
+			"events/sec are hardware-dependent, bytes/host is not)",
+		NumCPU: runtime.NumCPU(),
+		Cells:  make(map[string]scaleResult),
+	}
+	for _, hosts := range hostTiers {
+		cell, err := experiments.ScaleCellByHosts(hosts)
+		if err != nil {
+			return err
+		}
+		for _, shards := range shardCounts {
+			if shards < 1 {
+				return fmt.Errorf("-scaleshards entries must be >= 1 (got %d)", shards)
+			}
+			r := runScaleCell(cell, shards)
+			rep.Cells[scaleKey(hosts, shards)] = r
+			fmt.Printf("%-24s %12.0f events/s %10.2f s wall %10.0f B/host (%d events)\n",
+				scaleKey(hosts, shards), r.EventsPerSec, r.WallSeconds, r.BytesPerHost, r.Events)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	reportSpeedups(rep)
+	if baseline == "" {
+		return nil
+	}
+	return compareScaleBaseline(rep, baseline, tol)
+}
+
+// reportSpeedups prints the shards=4 over shards=1 events/sec ratio per
+// host tier, when both cells were measured.
+func reportSpeedups(rep scaleReport) {
+	keys := make([]string, 0, len(rep.Cells))
+	for k := range rep.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r := rep.Cells[k]
+		if r.Shards != 1 {
+			continue
+		}
+		wide, ok := rep.Cells[scaleKey(r.Hosts, 4)]
+		if !ok {
+			continue
+		}
+		fmt.Printf("hosts=%d: shards=4 speedup %.2fx over shards=1 (on %d CPUs)\n",
+			r.Hosts, wide.EventsPerSec/r.EventsPerSec, rep.NumCPU)
+	}
+}
+
+// compareScaleBaseline gates the fresh report against the committed one.
+func compareScaleBaseline(rep scaleReport, baseline string, tol float64) error {
+	buf, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base scaleReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baseline, err)
+	}
+	var failures []string
+	keys := make([]string, 0, len(base.Cells))
+	for k := range base.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		want := base.Cells[k]
+		got, ok := rep.Cells[k]
+		if !ok {
+			continue // a smoke run measures a subset of the baseline cells
+		}
+		if limit := want.BytesPerHost * (1 + tol); got.BytesPerHost > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f B/host, baseline %.0f (+%.0f%% > %.0f%% tolerance)",
+				k, got.BytesPerHost, want.BytesPerHost, 100*(got.BytesPerHost/want.BytesPerHost-1), 100*tol))
+		}
+		if got.Events != want.Events {
+			failures = append(failures, fmt.Sprintf("%s: processed %d events, baseline %d (the cell is deterministic; a drift means the simulation changed)",
+				k, got.Events, want.Events))
+		}
+	}
+	fresh := make([]string, 0, len(rep.Cells))
+	for k := range rep.Cells {
+		fresh = append(fresh, k)
+	}
+	sort.Strings(fresh)
+	for _, k := range fresh {
+		got := rep.Cells[k]
+		if got.Shards != 1 {
+			continue
+		}
+		wide, ok := rep.Cells[scaleKey(got.Hosts, 4)]
+		if !ok {
+			continue
+		}
+		speedup := wide.EventsPerSec / got.EventsPerSec
+		if rep.NumCPU >= 4 && speedup < 1.5 {
+			failures = append(failures, fmt.Sprintf("hosts=%d: shards=4 speedup %.2fx < 1.5x on a %d-CPU runner",
+				got.Hosts, speedup, rep.NumCPU))
+		} else if rep.NumCPU < 4 {
+			fmt.Printf("note: hosts=%d speedup %.2fx not gated (%d CPUs < 4)\n", got.Hosts, speedup, rep.NumCPU)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		return fmt.Errorf("%d scale regression(s) against %s", len(failures), baseline)
+	}
+	fmt.Printf("all measured cells within tolerance of %s\n", baseline)
+	return nil
+}

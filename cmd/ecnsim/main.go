@@ -48,6 +48,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit per individual run (0 = none)")
 		progress   = flag.Bool("progress", false, "report each completed run on stderr")
 		topo       = flag.String("topo", "star", "topology: star (8-host testbed) or leafspine (128 hosts)")
+		shards     = flag.Int("shards", 0,
+			"worker goroutines for the sharded conservative-time engine (0 = legacy serial\nengine; results are identical at any positive value — see DESIGN.md)")
 		rttMinUS   = flag.Float64("rtt-min", 70, "minimum base RTT in microseconds")
 		variation  = flag.Float64("rtt-variation", 3, "RTT variation factor (RTTmax/RTTmin)")
 		replayPath = flag.String("replay", "", "replay flows from this flow CSV instead of generating them")
@@ -103,6 +105,7 @@ func main() {
 		Seed:   *seed,
 		Scheme: scheme,
 		RTT:    &rtt,
+		Shards: *shards,
 	}
 	switch *topo {
 	case "star":

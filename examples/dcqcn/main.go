@@ -22,8 +22,7 @@ import (
 )
 
 func run(name string, newAQM func(int) aqm.AQM) {
-	eng := sim.NewEngine()
-	net := topology.Star(eng, 5, topology.Options{
+	net := topology.NewStar(5, topology.Options{
 		Link: topology.LinkParams{
 			RateBps:     topology.TenGbps,
 			PropDelay:   2 * sim.Microsecond,
@@ -31,6 +30,7 @@ func run(name string, newAQM func(int) aqm.AQM) {
 		},
 		NewAQM: newAQM,
 	})
+	eng := net.Engine
 	cfg := transport.DefaultDCQCNConfig()
 	var recvs []*transport.Receiver
 	for i := 0; i < 4; i++ {

@@ -47,8 +47,7 @@ const (
 // attached to the whole network before any flow starts. It returns the
 // network so callers can locate the bottleneck port.
 func run(name string, newAQM func(int) aqm.AQM, tr trace.Tracer) *topology.Net {
-	eng := sim.NewEngine()
-	net := topology.Star(eng, senders+1, topology.Options{
+	net := topology.NewStar(senders+1, topology.Options{
 		Link: topology.LinkParams{
 			RateBps:     topology.TenGbps,
 			PropDelay:   sim.Microsecond,
@@ -56,6 +55,7 @@ func run(name string, newAQM func(int) aqm.AQM, tr trace.Tracer) *topology.Net {
 		},
 		NewAQM: newAQM,
 	})
+	eng := net.Engine
 	if tr != nil {
 		net.AttachTracer(tr)
 	}

@@ -22,14 +22,15 @@ import (
 )
 
 func main() {
-	eng := sim.NewEngine()
 	weights := []int{2, 1, 1}
 	params := core.Params{
 		InsTarget:   220 * sim.Microsecond,
 		PstTarget:   10 * sim.Microsecond,
 		PstInterval: 240 * sim.Microsecond,
 	}
-	net := topology.Star(eng, 4, topology.Options{
+	// The topology constructor owns the engine; net.Engine is the serial
+	// engine it built (pass Shards in Options for the partitioned runtime).
+	net := topology.NewStar(4, topology.Options{
 		Link: topology.LinkParams{
 			RateBps:     topology.TenGbps,
 			PropDelay:   sim.Microsecond,
@@ -39,6 +40,7 @@ func main() {
 		NewSched:  func() queue.Scheduler { return queue.NewDWRR(weights) },
 		NewAQM:    func(int) aqm.AQM { return aqm.MustNewECNSharp(params) },
 	})
+	eng := net.Engine
 
 	const phase = 50 * sim.Millisecond
 	var meters [3]*metrics.GoodputMeter

@@ -12,6 +12,15 @@
 // binaries reporting elapsed wall time — carry a "//lint:allow wallclock"
 // annotation stating why (see package lintallow), or live in a package
 // listed in the -allowpkgs flag.
+//
+// The sharded engine (sim.ShardedEngine) raises the stakes: its domain
+// workers run concurrently, so a wall-clock read on a simulation path
+// would not just tie the run to one machine but to one *interleaving*,
+// making reruns of the same (config, seed) diverge between worker counts.
+// Shard worker callbacks therefore get no allowlist entries at all —
+// anything a worker executes must derive time from its domain engine's
+// virtual clock; only coordinator-side measurement code (the scale
+// benchmark's events/sec stopwatch) may be annotated.
 package wallclock
 
 import (

@@ -46,6 +46,11 @@ type Port struct {
 	txDoneFn  func()    // bound once: serialization finished
 	deliverFn func(any) // bound once: propagation finished, deliver to Dst
 
+	// remote, when non-nil, marks this port as a domain boundary under a
+	// sharded engine: instead of scheduling delivery on the local engine,
+	// finished packets are handed to the destination domain (see SetRemote).
+	remote *sim.Handoff
+
 	// TxBytes and TxPackets count transmitted (dequeued) traffic.
 	TxBytes   int64
 	TxPackets int64
@@ -97,13 +102,39 @@ func (pt *Port) kick() {
 	pt.eng.After(pt.TxTime(p.Size()), pt.txDoneFn)
 }
 
+// SetRemote marks the port as a cross-domain boundary of a sharded
+// engine: packets finishing serialization are buffered on h and injected
+// into the destination domain at the next synchronization barrier, rather
+// than scheduled on the local engine. The handoff's deliver callback must
+// perform this port's delivery (Dst.Receive). Topology wiring calls this
+// once per boundary port, before the run starts.
+func (pt *Port) SetRemote(h *sim.Handoff) { pt.remote = h }
+
 // txDone fires when the packet on the transmitter finishes serializing.
 func (pt *Port) txDone() {
 	p := pt.txPkt
 	pt.txPkt = nil
 	pt.busy = false
-	pt.eng.AfterArg(pt.PropDelay, pt.deliverFn, p)
+	if pt.remote != nil {
+		pt.remote.Send(pt.eng.Now()+pt.PropDelay, p)
+	} else {
+		pt.eng.AfterArg(pt.PropDelay, pt.deliverFn, p)
+	}
 	pt.kick()
+}
+
+// Router computes the equal-cost egress port set for a destination host.
+// It exists for fabrics whose forwarding is structured (leaf-spine): a
+// per-destination FIB map costs O(hosts) entries per switch — gigabytes at
+// 100k hosts — while a structured router answers from the topology's
+// arithmetic with a handful of shared slices. The returned slice must be
+// stable for the lifetime of the run and is indexed by the same ECMP flow
+// hash as FIB entries, so a structured router reproduces FIB forwarding
+// byte-for-byte when its port order matches AddRoute order.
+type Router interface {
+	// Route returns the equal-cost port set toward host dst; the slice
+	// must not be mutated by the caller.
+	Route(dst int) []*Port
 }
 
 // Switch is an output-queued switch: packets arriving on any ingress are
@@ -114,6 +145,8 @@ type Switch struct {
 	eng *sim.Engine
 	// fib maps destination host id to the set of equal-cost egress ports.
 	fib map[int][]*Port
+	// router, when non-nil, replaces the fib (see Router).
+	router Router
 	// RxPackets counts packets received for forwarding.
 	RxPackets int64
 }
@@ -131,13 +164,29 @@ func (s *Switch) AddRoute(dst int, p *Port) {
 	s.fib[dst] = append(s.fib[dst], p)
 }
 
-// Routes returns the ECMP port set for dst (for tests).
-func (s *Switch) Routes(dst int) []*Port { return s.fib[dst] }
+// SetRouter installs a structured forwarding function, replacing the FIB
+// map (which may then stay empty). Large fabrics use it to keep per-switch
+// forwarding state O(ports) instead of O(hosts).
+func (s *Switch) SetRouter(r Router) { s.router = r }
 
-// Receive implements Node: forward per FIB with per-flow ECMP.
+// Routes returns the ECMP port set for dst (for tests).
+func (s *Switch) Routes(dst int) []*Port {
+	if s.router != nil {
+		return s.router.Route(dst)
+	}
+	return s.fib[dst]
+}
+
+// Receive implements Node: forward per FIB (or structured router) with
+// per-flow ECMP.
 func (s *Switch) Receive(p *packet.Packet) {
 	s.RxPackets++
-	ports := s.fib[p.Dst]
+	var ports []*Port
+	if s.router != nil {
+		ports = s.router.Route(p.Dst)
+	} else {
+		ports = s.fib[p.Dst]
+	}
 	if len(ports) == 0 {
 		panic(fmt.Sprintf("device: switch %s has no route to host %d", s.id, p.Dst))
 	}

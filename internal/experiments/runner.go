@@ -49,6 +49,15 @@ type RunConfig struct {
 	Leaves       int
 	HostsPerLeaf int
 
+	// Shards, when positive, executes the run on a sharded conservative-
+	// time engine with that many worker goroutines: the topology is
+	// partitioned into its natural domains (one per leaf and one per
+	// spine on leaf-spine; see topology.Partition) and every simulated
+	// byte — traces, FCT records, counters — is independent of the
+	// worker count. Zero keeps the serial single-engine path, whose
+	// outputs existing goldens pin.
+	Shards int
+
 	RateBps     float64
 	PropDelay   sim.Time
 	BufferBytes int64
@@ -141,6 +150,9 @@ func (c *RunConfig) defaults() {
 	if c.Transport.MSS == 0 {
 		c.Transport = transport.DefaultConfig()
 	}
+	if c.Shards < 0 {
+		c.Shards = 0
+	}
 }
 
 // pathRTT estimates the intrinsic base RTT of the topology without any
@@ -168,7 +180,6 @@ func Run(cfg RunConfig) RunResult {
 // ctx's.
 func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	cfg.defaults()
-	eng := sim.NewEngine()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	newAQM := cfg.Scheme.Factory(rng)
@@ -185,6 +196,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		NewAQM:            newAQM,
 		SharedBufferBytes: cfg.SharedBufferBytes,
 		DTAlpha:           cfg.DTAlpha,
+		Shards:            cfg.Shards,
 	}
 	if cfg.SharedBufferBytes > 0 {
 		opts.Link.BufferBytes = 0
@@ -195,15 +207,17 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		opts.NewSched = func() queue.Scheduler { return queue.NewDWRR(weights) }
 	}
 
+	// Construction goes through the topology-owned constructors — the
+	// single entry point for engine and shard wiring.
 	var net *topology.Net
 	switch cfg.Topo {
 	case TopoStar:
 		if cfg.Hosts < 2 {
 			panic("experiments: star needs Hosts >= 2")
 		}
-		net = topology.Star(eng, cfg.Hosts, opts)
+		net = topology.NewStar(cfg.Hosts, opts)
 	case TopoLeafSpine:
-		net = topology.LeafSpine(eng, cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf, opts)
+		net = topology.NewLeafSpine(cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf, opts)
 	default:
 		panic(fmt.Sprintf("experiments: unknown topology %d", cfg.Topo))
 	}
@@ -224,11 +238,27 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		specs = cfg.FlowGen(rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)))
 	}
 
-	collector := metrics.NewFCTCollector()
-	var flows []*transport.Flow
-	completed := 0
+	// Completion accounting is kept per domain: a flow's completion
+	// callback runs on its source host's domain worker, so each domain
+	// records into its own collector and counter and the coordinator-side
+	// merge (in fixed domain order) reassembles one deterministic record
+	// stream. On the serial path there is a single domain and the merge
+	// degenerates to the historical single-collector behavior.
+	doms := net.Domains()
+	collectors := make([]*metrics.FCTCollector, doms)
+	for d := range collectors {
+		collectors[d] = metrics.NewFCTCollector()
+	}
+	completedBy := make([]int, doms)
+
+	table := transport.NewFlowTable(len(specs))
+	table.CloseOnDone = net.Shard == nil
+	table.OnDone = func(i int) {
+		d := net.DomainOfHost(table.Src[i])
+		completedBy[d]++
+		collectors[d].Record(table.Size[i], table.FCT[i], table.Query[i])
+	}
 	for i, spec := range specs {
-		spec := spec
 		id := uint64(i + 1)
 		src := net.Host(spec.Src)
 		dst := net.Host(spec.Dst)
@@ -240,21 +270,35 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		if cfg.ClassOf != nil {
 			tcfg.Class = cfg.ClassOf(i, spec)
 		}
-		fl := transport.StartFlow(eng, tcfg, src, dst, id, spec.Size, spec.Start,
-			func(f *transport.Flow) {
-				completed++
-				collector.Record(f.Size, f.FCT, spec.Query)
-			})
-		flows = append(flows, fl)
+		table.Launch(tcfg, src, dst, id, spec.Size, spec.Start, spec.Query)
 	}
 
 	var sampler *metrics.QueueSampler
 	if cfg.SampleInterval > 0 {
 		eg := net.EgressTo(cfg.SampleQueueOf).Egress
-		sampler = metrics.NewQueueSampler(eng, eg, cfg.SampleStart, cfg.SampleEnd, cfg.SampleInterval)
+		sampler = metrics.NewQueueSampler(net.EngineOf(cfg.SampleQueueOf), eg,
+			cfg.SampleStart, cfg.SampleEnd, cfg.SampleInterval)
 	}
 
-	runErr := runEngine(ctx, eng, cfg.Deadline)
+	runErr := runNet(ctx, net, cfg.Deadline)
+	if net.Shard != nil {
+		// Receivers live in their destination domains, so the serial
+		// path's close-at-completion would be a cross-domain mutation;
+		// sharded runs close everything here, after the workers joined.
+		table.CloseAll()
+	}
+
+	collector := collectors[0]
+	if doms > 1 {
+		collector = metrics.NewFCTCollector()
+		for _, c := range collectors {
+			collector.Merge(c)
+		}
+	}
+	completed := 0
+	for _, c := range completedBy {
+		completed += c
+	}
 
 	res := RunResult{
 		Stats:     collector.Stats(),
@@ -265,9 +309,9 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		Injected:  len(specs),
 		Net:       net,
 	}
-	for _, fl := range flows {
-		res.Timeouts += fl.Sender.Stats.Timeouts
-		res.Retransmits += fl.Sender.Stats.Retransmits
+	for _, s := range table.Senders {
+		res.Timeouts += s.Stats.Timeouts
+		res.Retransmits += s.Stats.Retransmits
 	}
 	if sampler != nil {
 		res.QueueSamples = sampler.Samples
@@ -275,6 +319,25 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		res.MaxQueuePkts = sampler.MaxPackets()
 	}
 	return res, runErr
+}
+
+// runNet drives the network's engine — serial or sharded — to completion
+// (or to the simulated deadline, when positive), honoring ctx.
+func runNet(ctx context.Context, net *topology.Net, deadline sim.Time) error {
+	if net.Shard == nil {
+		return runEngine(ctx, net.Engine, deadline)
+	}
+	limit := deadline
+	if limit <= 0 {
+		limit = sim.MaxTime
+	}
+	if ctx.Done() == nil {
+		return net.Shard.RunPoll(limit, 0, nil)
+	}
+	// Poll cancellation every few windows: a window is bounded work
+	// (lookahead's worth of events per domain), so this keeps per-job
+	// timeouts responsive without touching the workers.
+	return net.Shard.RunPoll(limit, 4, ctx.Err)
 }
 
 // runEngine drives eng to completion (or to the simulated deadline, when

@@ -1,0 +1,171 @@
+package experiments
+
+// Serial-vs-sharded equivalence: the sharded conservative-time engine must
+// be an execution strategy, not a model change. For a fixed (config, seed),
+// every simulated byte — the JSONL event trace, the FCT record stream, and
+// all counters — must be identical at any shard count. "Serial" here is
+// Shards=1 (one worker driving the partitioned engine); the test pins 2, 4
+// and 8 workers against it on a traced incast golden, and a second case
+// pins 1 vs 4 workers on an untraced fig6-style Poisson cell. (The legacy
+// Shards=0 engine is pinned separately by the existing goldens; its
+// same-timestamp tie-breaking uses a global sequence rather than the
+// partitioned path's domain-canonical barrier order, so byte equality is
+// only promised within the partitioned family.)
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ecnsharp/internal/rttvar"
+	"ecnsharp/internal/sim"
+	"ecnsharp/internal/topology"
+	"ecnsharp/internal/trace"
+	"ecnsharp/internal/workload"
+)
+
+// renderResult flattens everything a run reports into one string: the FCT
+// record stream in completion order, then every counter.
+func renderResult(r RunResult) string {
+	var b strings.Builder
+	for _, rec := range r.Collector.Records() {
+		fmt.Fprintf(&b, "fct size=%d fct=%d query=%v\n", rec.Size, rec.FCT, rec.Query)
+	}
+	fmt.Fprintf(&b, "drops=%d marks=%d timeouts=%d retransmits=%d completed=%d injected=%d\n",
+		r.Drops, r.Marks, r.Timeouts, r.Retransmits, r.Completed, r.Injected)
+	fmt.Fprintf(&b, "stats overall=%v shortp99=%v large=%v\n",
+		r.Stats.OverallAvg, r.Stats.ShortP99, r.Stats.LargeAvg)
+	return b.String()
+}
+
+// incastCellCfg is the traced golden workload: a 12-way incast into host 0
+// on a 2-spine/4-leaf fabric with two cross-leaf background flows, so
+// traffic crosses every domain boundary while queues actually build at the
+// aggregator's last hop.
+func incastCellCfg(shards int) RunConfig {
+	return RunConfig{
+		Seed:         7,
+		Topo:         TopoLeafSpine,
+		Spines:       2,
+		Leaves:       4,
+		HostsPerLeaf: 4,
+		Shards:       shards,
+		Scheme:       TestbedSchemes()[3],
+		FlowGen: func(rng *rand.Rand) []workload.FlowSpec {
+			flows := []workload.FlowSpec{
+				{Src: 1, Dst: 8, Size: 1_000_000, Start: 0},
+				{Src: 12, Dst: 5, Size: 1_000_000, Start: 5 * sim.Microsecond},
+			}
+			senders := make([]int, 0, 12)
+			for h := 4; h < 16; h++ {
+				senders = append(senders, h)
+			}
+			return append(flows, workload.QueryFlows(rng, workload.QueryConfig{
+				Senders:  senders,
+				Receiver: 0,
+				At:       10 * sim.Microsecond,
+				MinBytes: 3_000,
+				MaxBytes: 60_000,
+			})...)
+		},
+	}
+}
+
+// TestShardedByteIdenticalToSerial: the traced incast golden at 2, 4 and 8
+// workers is byte-for-byte the serial (1-worker) run — trace, FCT records
+// and counters alike.
+func TestShardedByteIdenticalToSerial(t *testing.T) {
+	render := func(shards int) (string, string) {
+		var buf bytes.Buffer
+		jw := trace.NewJSONLWriter(&buf)
+		cfg := incastCellCfg(shards)
+		cfg.NewTracer = func(context.Context, int64) trace.Tracer { return jw }
+		res := Run(cfg)
+		if err := jw.Flush(); err != nil {
+			t.Fatalf("shards=%d: trace flush: %v", shards, err)
+		}
+		return buf.String(), renderResult(res)
+	}
+
+	serialTrace, serialResult := render(1)
+	if serialTrace == "" {
+		t.Fatal("serial run produced no trace")
+	}
+	if !strings.Contains(serialResult, "completed=14") {
+		t.Fatalf("serial run did not complete all 14 flows:\n%s", serialResult)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		gotTrace, gotResult := render(shards)
+		if gotTrace != serialTrace {
+			t.Errorf("shards=%d: trace diverges from serial at byte %d (of %d vs %d)",
+				shards, firstDiff(gotTrace, serialTrace), len(gotTrace), len(serialTrace))
+		}
+		if gotResult != serialResult {
+			t.Errorf("shards=%d: results diverge:\n--- serial ---\n%s--- shards=%d ---\n%s",
+				shards, serialResult, shards, gotResult)
+		}
+	}
+}
+
+// TestShardedFig6CellByteIdentical: a fig6-style leaf-spine cell — Poisson
+// web-search arrivals over random pairs with a 3× RTT variation — produces
+// identical FCT records and counters at 1 and 4 workers. Unlike the incast
+// golden this exercises the RTT assigner, Poisson arrival stream and ECMP
+// spreading under load, so a worker-count dependency anywhere in that
+// pipeline surfaces here.
+func TestShardedFig6CellByteIdentical(t *testing.T) {
+	rtt := rttvar.NewVariation(TestbedRTTMin, 3)
+	hosts := make([]int, 16)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	render := func(shards int) string {
+		cfg := RunConfig{
+			Seed:         3,
+			Topo:         TopoLeafSpine,
+			Spines:       2,
+			Leaves:       4,
+			HostsPerLeaf: 4,
+			Shards:       shards,
+			Scheme:       TestbedSchemes()[3],
+			RTT:          &rtt,
+			FlowGen: func(rng *rand.Rand) []workload.FlowSpec {
+				return workload.PoissonFlows(rng, workload.PoissonConfig{
+					SizeDist:    workload.WebSearchCDF,
+					Load:        0.5,
+					CapacityBps: topology.TenGbps,
+					RefLinks:    16,
+					Pairs:       workload.RandomPairs(hosts),
+					FlowCount:   80,
+				})
+			},
+		}
+		return renderResult(Run(cfg))
+	}
+
+	serial := render(1)
+	if !strings.Contains(serial, "completed=80") {
+		t.Fatalf("serial run did not complete all flows:\n%s", serial)
+	}
+	if got := render(4); got != serial {
+		t.Errorf("shards=4 diverges from serial:\n--- serial ---\n%s--- shards=4 ---\n%s",
+			serial, got)
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

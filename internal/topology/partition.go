@@ -1,0 +1,149 @@
+// Partitioning for sharded execution: the decomposition of a topology
+// into simulation domains, the cross-domain boundary census, and the
+// structured routers that keep per-switch forwarding state O(ports)
+// instead of O(hosts) on large fabrics.
+//
+// The decomposition is a property of the *topology*, never of the worker
+// count: a leaf-spine fabric always splits into one domain per leaf (the
+// switch plus its hosts — a host is never separated from its leaf) and
+// one per spine, a dumbbell into its two sides, a star into a single
+// domain. The -shards knob only chooses how many goroutines execute those
+// domains, which is why results are independent of it (see DESIGN.md
+// "Sharded execution").
+package topology
+
+import (
+	"fmt"
+
+	"ecnsharp/internal/device"
+	"ecnsharp/internal/sim"
+)
+
+// Boundary describes one directed cross-domain link created by wiring.
+type Boundary struct {
+	// SrcDom and DstDom are the domains the link leaves and enters.
+	SrcDom, DstDom int
+	// Prop is the link's propagation delay — the time the destination
+	// domain is guaranteed to lag behind the source (the lookahead
+	// contribution of this link).
+	Prop sim.Time
+}
+
+// Partition fixes a topology's domain decomposition before wiring.
+type Partition struct {
+	// Domains is the number of simulation domains.
+	Domains int
+	// HostDom maps host id to its domain. A host always shares a domain
+	// with its access switch.
+	HostDom []int
+	// Lookahead is the minimum propagation delay over all cross-domain
+	// links — the conservative window length. For a single-domain
+	// partition it is the (positive) access-link delay, which any window
+	// length trivially satisfies.
+	Lookahead sim.Time
+	// CutLinks is the number of directed cross-domain links the wiring
+	// will create (each contributes one handoff buffer).
+	CutLinks int
+}
+
+// serialPartition is the trivial one-domain decomposition used when
+// sharding is off or the topology has no natural cut.
+func serialPartition(hosts int, lookahead sim.Time) Partition {
+	if lookahead <= 0 {
+		lookahead = sim.Microsecond // any positive window works with no cuts
+	}
+	return Partition{Domains: 1, HostDom: make([]int, hosts), Lookahead: lookahead}
+}
+
+// PartitionStar computes the decomposition of an n-host star: a single
+// domain (every link touches the one switch, so there is nothing to cut).
+func PartitionStar(n int, opts Options) Partition {
+	opts.defaults()
+	return serialPartition(n, opts.Link.PropDelay)
+}
+
+// PartitionDumbbell computes the decomposition of a dumbbell: two
+// domains, one per side, cut on the inter-switch bottleneck link in both
+// directions.
+func PartitionDumbbell(nPairs int, opts Options) Partition {
+	opts.defaults()
+	if opts.FabricPropDelay <= 0 {
+		panic("topology: sharded dumbbell needs a positive fabric propagation delay")
+	}
+	p := Partition{
+		Domains:   2,
+		HostDom:   make([]int, 2*nPairs),
+		Lookahead: opts.FabricPropDelay,
+		CutLinks:  2,
+	}
+	for i := nPairs; i < 2*nPairs; i++ {
+		p.HostDom[i] = 1
+	}
+	return p
+}
+
+// PartitionLeafSpine computes the decomposition of a leaf-spine fabric:
+// one domain per leaf (switch plus its hostsPerLeaf hosts, ids leaf-major)
+// and one per spine (domains leaves..leaves+spines-1). Every leaf<->spine
+// link is cut, in both directions, so the lookahead is the fabric-link
+// propagation delay.
+func PartitionLeafSpine(spines, leaves, hostsPerLeaf int, opts Options) Partition {
+	opts.defaults()
+	if spines < 1 || leaves < 1 || hostsPerLeaf < 1 {
+		panic("topology: leaf-spine dimensions must be positive")
+	}
+	if opts.FabricPropDelay <= 0 {
+		panic("topology: sharded leaf-spine needs a positive fabric propagation delay")
+	}
+	p := Partition{
+		Domains:   leaves + spines,
+		HostDom:   make([]int, leaves*hostsPerLeaf),
+		Lookahead: opts.FabricPropDelay,
+		CutLinks:  2 * leaves * spines,
+	}
+	for id := range p.HostDom {
+		p.HostDom[id] = id / hostsPerLeaf
+	}
+	return p
+}
+
+// leafDomain returns the domain of leaf switch l (the same as its hosts').
+func leafDomain(l int) int { return l }
+
+// spineDomain returns the domain of spine switch s in a fabric with the
+// given leaf count.
+func spineDomain(leaves, s int) int { return leaves + s }
+
+// leafRouter is the structured forwarding function of a leaf switch:
+// local hosts go out their dedicated down port, everything else ECMPs
+// across the shared uplink set (in spine order, matching the FIB order
+// the map-based wiring used, so the ECMP hash picks identical ports).
+type leafRouter struct {
+	base  int            // first host id attached to this leaf
+	local []*device.Port // down ports, indexed by dst-base
+	up    []*device.Port // uplinks in spine order, shared by all remote dsts
+}
+
+// Route implements device.Router.
+func (r *leafRouter) Route(dst int) []*device.Port {
+	if i := dst - r.base; i >= 0 && i < len(r.local) {
+		return r.local[i : i+1]
+	}
+	return r.up
+}
+
+// spineRouter is the structured forwarding function of a spine switch:
+// destination hosts map arithmetically to the down port of their leaf.
+type spineRouter struct {
+	hostsPerLeaf int
+	down         []*device.Port // per leaf, in leaf order
+}
+
+// Route implements device.Router.
+func (r *spineRouter) Route(dst int) []*device.Port {
+	l := dst / r.hostsPerLeaf
+	if l < 0 || l >= len(r.down) {
+		panic(fmt.Sprintf("topology: spine route for unknown host %d", dst))
+	}
+	return r.down[l : l+1]
+}

@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecnsharp/internal/sim"
+)
+
+// TestPartitionLeafSpineProperties: on randomized leaf-spine topologies,
+// the partitioner (a) never separates a host from its leaf switch — the
+// host's engine is its leaf domain's engine, and its last-hop egress port
+// is owned by the same domain — and (b) computes a lookahead equal to the
+// true minimum propagation delay over the cross-domain links the wiring
+// actually creates.
+func TestPartitionLeafSpineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 40; iter++ {
+		spines := 1 + rng.Intn(5)
+		leaves := 1 + rng.Intn(6)
+		hpl := 1 + rng.Intn(5)
+		access := sim.Time(1+rng.Intn(5000)) * sim.Nanosecond
+		fabric := sim.Time(1+rng.Intn(5000)) * sim.Nanosecond
+		shards := 1 + rng.Intn(8)
+		opts := Options{
+			Link:            LinkParams{RateBps: TenGbps, PropDelay: access},
+			FabricPropDelay: fabric,
+			Shards:          shards,
+		}
+
+		part := PartitionLeafSpine(spines, leaves, hpl, opts)
+		if part.Domains != leaves+spines {
+			t.Fatalf("dims (%d,%d,%d): Domains = %d, want %d", spines, leaves, hpl, part.Domains, leaves+spines)
+		}
+		for id, dom := range part.HostDom {
+			if dom != id/hpl {
+				t.Fatalf("dims (%d,%d,%d): host %d in domain %d, want leaf %d", spines, leaves, hpl, id, dom, id/hpl)
+			}
+		}
+
+		net := NewLeafSpine(spines, leaves, hpl, opts)
+		if net.Domains() != part.Domains {
+			t.Fatalf("net has %d domains, partition says %d", net.Domains(), part.Domains)
+		}
+		// (a) host never split from its leaf.
+		for id, h := range net.Hosts {
+			dom := net.DomainOfHost(id)
+			if h.Engine() != net.Engines[dom] {
+				t.Fatalf("host %d runs on a different engine than its domain %d", id, dom)
+			}
+			if h.Engine() != net.EngineOf(id) {
+				t.Fatalf("EngineOf(%d) disagrees with the host's engine", id)
+			}
+		}
+		for i, p := range net.SwitchPorts {
+			// The last-hop port feeding a host must be owned by the
+			// host's own domain (it is a leaf port).
+			for id := range net.Hosts {
+				if net.hostPorts[id] == p && net.portDoms[i] != net.DomainOfHost(id) {
+					t.Fatalf("last-hop port of host %d owned by domain %d, want %d", id, net.portDoms[i], net.DomainOfHost(id))
+				}
+			}
+		}
+		// (b) lookahead equals the true min cut-link delay.
+		if len(net.Boundaries) != part.CutLinks {
+			t.Fatalf("wiring created %d boundaries, partition predicted %d", len(net.Boundaries), part.CutLinks)
+		}
+		if len(net.Boundaries) != 2*leaves*spines {
+			t.Fatalf("boundaries = %d, want %d", len(net.Boundaries), 2*leaves*spines)
+		}
+		minCut := sim.MaxTime
+		for _, b := range net.Boundaries {
+			if b.Prop < minCut {
+				minCut = b.Prop
+			}
+			if b.SrcDom == b.DstDom {
+				t.Fatalf("boundary %+v is not cross-domain", b)
+			}
+		}
+		if part.Lookahead != minCut {
+			t.Fatalf("partition lookahead %v != true min cut delay %v", part.Lookahead, minCut)
+		}
+		if net.Lookahead != part.Lookahead || net.Shard.Lookahead() != part.Lookahead {
+			t.Fatalf("net/engine lookahead (%v, %v) disagree with partition %v",
+				net.Lookahead, net.Shard.Lookahead(), part.Lookahead)
+		}
+	}
+}
+
+// TestPartitionDumbbell: both sides become domains, cut on the bottleneck
+// in each direction.
+func TestPartitionDumbbell(t *testing.T) {
+	opts := Options{
+		Link:            LinkParams{RateBps: TenGbps, PropDelay: sim.Microsecond},
+		FabricPropDelay: 3 * sim.Microsecond,
+		Shards:          2,
+	}
+	part := PartitionDumbbell(4, opts)
+	if part.Domains != 2 || part.CutLinks != 2 || part.Lookahead != 3*sim.Microsecond {
+		t.Fatalf("unexpected partition %+v", part)
+	}
+	net := NewDumbbell(4, opts)
+	if len(net.Boundaries) != 2 {
+		t.Fatalf("boundaries = %d, want 2", len(net.Boundaries))
+	}
+	for i := 0; i < 4; i++ {
+		if net.DomainOfHost(i) != 0 || net.DomainOfHost(4+i) != 1 {
+			t.Fatalf("host domains wrong: %d->%d, %d->%d", i, net.DomainOfHost(i), 4+i, net.DomainOfHost(4+i))
+		}
+	}
+}
+
+// TestPartitionStarSingleDomain: a star cannot be cut; sharded
+// construction still works (one domain, whatever the worker request).
+func TestPartitionStarSingleDomain(t *testing.T) {
+	opts := Options{Link: LinkParams{RateBps: TenGbps, PropDelay: sim.Microsecond}, Shards: 4}
+	part := PartitionStar(8, opts)
+	if part.Domains != 1 || part.CutLinks != 0 {
+		t.Fatalf("unexpected star partition %+v", part)
+	}
+	net := NewStar(8, opts)
+	if net.Domains() != 1 || len(net.Boundaries) != 0 {
+		t.Fatalf("star built %d domains, %d boundaries", net.Domains(), len(net.Boundaries))
+	}
+	if net.Shard == nil || net.Shard.Workers() != 1 {
+		t.Fatal("single-domain sharded star should clamp to one worker")
+	}
+}

@@ -1,6 +1,14 @@
 // Package topology wires hosts, switches and links into the networks the
 // paper evaluates on: the star used for the 8-server testbed and incast
 // experiments, a dumbbell, and the 128-host leaf-spine fabric of §5.3.
+//
+// Construction comes in two modes sharing one wiring path. The legacy
+// constructors (Star, Dumbbell, LeafSpine) take a caller-owned serial
+// engine and build a single-domain network on it. The topology-owned
+// constructors (NewStar, NewDumbbell, NewLeafSpine) build the engine(s)
+// themselves; with Options.Shards > 0 they partition the network into
+// simulation domains on the leaf/pod boundary (see partition.go) and run
+// it on a sim.ShardedEngine, which is how fabrics scale to 100k hosts.
 package topology
 
 import (
@@ -28,6 +36,12 @@ const TenGbps = 10e9
 type Options struct {
 	// Link parameterizes every link (the paper's networks are uniform).
 	Link LinkParams
+	// FabricPropDelay, when positive, overrides Link.PropDelay on the
+	// switch-to-switch links (dumbbell bottleneck, leaf<->spine). Under
+	// sharding these are the cut links, so this is also the sharded
+	// engine's lookahead; the default (Link.PropDelay) keeps the fabric
+	// uniform like the paper's networks.
+	FabricPropDelay sim.Time
 	// NumQueues is the number of service queues per switch egress port.
 	NumQueues int
 	// NewSched builds the per-port packet scheduler; nil means FIFO.
@@ -43,46 +57,112 @@ type Options struct {
 	// switch ASICs buffer); DTAlpha is the threshold factor (default 1).
 	SharedBufferBytes int64
 	DTAlpha           float64
-	// NoPacketPool disables the per-network packet free list (the zero
+	// NoPacketPool disables the per-domain packet free list (the zero
 	// value keeps recycling on). Results are byte-identical either way —
 	// the pool-hygiene regression test flips this to prove it — so the
 	// switch exists for debugging ownership bugs, not for correctness.
 	NoPacketPool bool
+	// Shards, when positive, partitions the network into its natural
+	// simulation domains and executes them on that many worker goroutines
+	// under a sim.ShardedEngine (only via the topology-owned NewStar /
+	// NewDumbbell / NewLeafSpine constructors). The domain decomposition
+	// — and therefore every simulated byte — depends only on the
+	// topology, never on this worker count. Zero keeps the serial
+	// single-engine path.
+	Shards int
 }
 
 func (o *Options) defaults() {
 	if o.NumQueues <= 0 {
 		o.NumQueues = 1
 	}
+	if o.FabricPropDelay <= 0 {
+		o.FabricPropDelay = o.Link.PropDelay
+	}
+	if o.Shards < 0 {
+		o.Shards = 0
+	}
 }
 
 // Net is a constructed network.
 type Net struct {
-	Engine   *sim.Engine
+	// Engine is the serial engine in single-domain mode; nil when the
+	// network runs sharded (use Shard, or Engines / EngineOf for the
+	// per-domain engines).
+	Engine *sim.Engine
+	// Shard is the conservative-time coordinator in sharded mode; nil on
+	// the serial path.
+	Shard *sim.ShardedEngine
+	// Engines lists the per-domain engines; in serial mode it holds the
+	// single Engine. Component wiring and helpers index it by domain.
+	Engines []*sim.Engine
+
 	Hosts    []*device.Host
 	Switches []*device.Switch
 
-	// PacketPool recycles packets across the whole network: transports
-	// allocate from it, destination hosts and dropping queues release to
-	// it. One pool per Net keeps parallel experiment jobs isolated. Nil
-	// when Options.NoPacketPool was set.
+	// Part is the domain decomposition the network was built with (the
+	// trivial one-domain partition on the serial path).
+	Part Partition
+	// Boundaries lists the directed cross-domain links the wiring
+	// created, in handoff registration order (empty on the serial path).
+	Boundaries []Boundary
+	// Lookahead is the sharded engine's conservative window length (the
+	// partition's min cut propagation delay).
+	Lookahead sim.Time
+
+	// PacketPools recycles packets, one free list per domain so sharded
+	// workers never contend: transports allocate from their host's
+	// domain pool, destination hosts and dropping queues release to
+	// theirs (a packet crossing a boundary migrates pools, which a free
+	// list does not mind). Nil entries when Options.NoPacketPool was set.
+	PacketPools []*packet.Pool
+	// PacketPool is domain 0's pool — the whole network's pool in serial
+	// mode, kept for compatibility with existing callers and tests.
 	PacketPool *packet.Pool
 
 	// SwitchPorts lists every switch egress port (for drop/mark census).
 	SwitchPorts []*device.Port
+	// portDoms[i] is the domain owning SwitchPorts[i].
+	portDoms []int
 
 	// hostPorts[h] is the switch egress port that delivers to host h
 	// (the port whose queue is the bottleneck in star experiments).
 	hostPorts map[int]*device.Port
 }
 
-// AttachTracer attaches t to the whole network: to the engine (whose
-// tracer the transport endpoints and samplers emit through) and to every
-// switch egress port, each identified by its index in SwitchPorts — so the
-// Port field of a queue event indexes directly into SwitchPorts. A nil t
-// detaches everything and restores the untraced fast path. Host NIC queues
-// are not traced: in the paper's setups they never mark or drop.
+// Domains returns the number of simulation domains (1 on the serial path).
+func (n *Net) Domains() int { return len(n.Engines) }
+
+// DomainOfHost returns the domain owning host id (0 on the serial path).
+func (n *Net) DomainOfHost(id int) int { return n.Part.HostDom[id] }
+
+// EngineOf returns the engine that host id's events run on: the domain
+// engine in sharded mode, the single engine otherwise. Components bound
+// to a host (transports, samplers on its last-hop queue) must schedule
+// here.
+func (n *Net) EngineOf(host int) *sim.Engine { return n.Engines[n.DomainOfHost(host)] }
+
+// AttachTracer attaches t to the whole network: to the engine(s) — whose
+// tracer the transport endpoints and samplers emit through — and to every
+// switch egress port, each identified by its index in SwitchPorts, so the
+// Port field of a queue event indexes directly into SwitchPorts. In
+// sharded mode each domain's emissions are buffered during a window and
+// merged into t at every barrier in (time, domain, emission order) order,
+// so t itself is only ever invoked from the coordinating goroutine.
+//
+// Attaching is idempotent: calling it again (with the same or another
+// tracer) simply rewires every attachment point, so it is safe before the
+// run, between partial runs (RunUntil), or after completion — but not
+// while the sharded engine is mid-run. A nil t detaches everything and
+// restores the untraced fast path.
 func (n *Net) AttachTracer(t trace.Tracer) {
+	if n.Shard != nil {
+		n.Shard.SetTracer(t)
+		for i, p := range n.SwitchPorts {
+			p.Egress.SetTracer(n.Shard.DomainTracer(n.portDoms[i]), i)
+		}
+		return
+	}
 	n.Engine.SetTracer(t)
 	for i, p := range n.SwitchPorts {
 		p.Egress.SetTracer(t, i)
@@ -145,14 +225,6 @@ func newPool(o *Options) *queue.SharedPool {
 	return queue.NewSharedPool(o.SharedBufferBytes, alpha)
 }
 
-// newPacketPool builds the per-network packet free list unless disabled.
-func newPacketPool(o *Options) *packet.Pool {
-	if o.NoPacketPool {
-		return nil
-	}
-	return &packet.Pool{}
-}
-
 // newEgress builds a switch egress buffer per the options; pool may be
 // nil for static per-port buffering.
 func newEgress(o *Options, pool *queue.SharedPool, pkts *packet.Pool) *queue.Egress {
@@ -177,62 +249,190 @@ func newHostEgress(o *Options, pkts *packet.Pool) *queue.Egress {
 	return eg
 }
 
-// Star builds n hosts attached to one switch. Any host can talk to any
-// other; the testbed experiments use hosts 0..n-2 as senders and n-1 as
-// the receiver, making the switch egress toward host n-1 the bottleneck.
+// wiring is the shared construction state of one network build: the
+// partition, the per-domain engines and packet pools, and the Net being
+// populated. The same wiring path serves both modes — the serial path is
+// simply a one-domain build on a caller-provided engine.
+type wiring struct {
+	opts *Options
+	net  *Net
+}
+
+// newWiring prepares a build over part. legacyEng, when non-nil, is the
+// caller-owned serial engine (part must then be single-domain); otherwise
+// the engines are topology-owned, under a sharded coordinator when
+// opts.Shards > 0.
+func newWiring(part Partition, opts *Options, legacyEng *sim.Engine) *wiring {
+	net := &Net{
+		Part:      part,
+		Lookahead: part.Lookahead,
+		hostPorts: make(map[int]*device.Port),
+	}
+	switch {
+	case legacyEng != nil:
+		if part.Domains != 1 {
+			panic("topology: a caller-owned engine requires a single-domain partition")
+		}
+		net.Engine = legacyEng
+		net.Engines = []*sim.Engine{legacyEng}
+	case opts.Shards > 0:
+		net.Shard = sim.NewShardedEngine(part.Domains, part.Lookahead, opts.Shards)
+		net.Engines = make([]*sim.Engine, part.Domains)
+		for d := range net.Engines {
+			net.Engines[d] = net.Shard.Domain(d)
+		}
+	default:
+		net.Engine = sim.NewEngine()
+		net.Engines = []*sim.Engine{net.Engine}
+	}
+	net.PacketPools = make([]*packet.Pool, part.Domains)
+	if !opts.NoPacketPool {
+		for d := range net.PacketPools {
+			net.PacketPools[d] = &packet.Pool{}
+		}
+	}
+	net.PacketPool = net.PacketPools[0]
+	return &wiring{opts: opts, net: net}
+}
+
+// engine returns domain dom's engine.
+func (w *wiring) engine(dom int) *sim.Engine { return w.net.Engines[dom] }
+
+// pool returns domain dom's packet pool (nil when pooling is off).
+func (w *wiring) pool(dom int) *packet.Pool { return w.net.PacketPools[dom] }
+
+// port builds an egress port owned by srcDom delivering to dst in dstDom.
+// When the domains differ under a sharded build, the port becomes a
+// boundary: a handoff into the destination domain is registered (in call
+// order, which the wiring keeps canonical) and the port transmits through
+// it instead of the local engine.
+func (w *wiring) port(srcDom, dstDom int, eg *queue.Egress, rate float64, prop sim.Time, dst device.Node) *device.Port {
+	pt := device.NewPort(w.engine(srcDom), eg, rate, prop, dst)
+	if srcDom != dstDom {
+		if prop < w.net.Lookahead {
+			panic(fmt.Sprintf("topology: cross-domain link delay %v below lookahead %v", prop, w.net.Lookahead))
+		}
+		h := w.net.Shard.NewHandoff(w.engine(dstDom), func(a any) {
+			dst.Receive(a.(*packet.Packet))
+		})
+		pt.SetRemote(h)
+		w.net.Boundaries = append(w.net.Boundaries, Boundary{SrcDom: srcDom, DstDom: dstDom, Prop: prop})
+	}
+	return pt
+}
+
+// addSwitchPort records a switch egress port and its owning domain for
+// the census and tracer attachment.
+func (w *wiring) addSwitchPort(dom int, ports ...*device.Port) {
+	for _, p := range ports {
+		w.net.SwitchPorts = append(w.net.SwitchPorts, p)
+		w.net.portDoms = append(w.net.portDoms, dom)
+	}
+}
+
+// Star builds n hosts attached to one switch on a caller-owned serial
+// engine. Any host can talk to any other; the testbed experiments use
+// hosts 0..n-2 as senders and n-1 as the receiver, making the switch
+// egress toward host n-1 the bottleneck.
 func Star(eng *sim.Engine, n int, opts Options) *Net {
+	opts.defaults()
+	if opts.Shards > 0 {
+		panic("topology: Star with Shards set — use NewStar, which owns the engines")
+	}
+	return buildStar(n, &opts, eng)
+}
+
+// NewStar is the topology-owned Star constructor: it builds the engine
+// (or, with Options.Shards > 0, the sharded coordinator) itself, so all
+// engine wiring has a single entry point.
+func NewStar(n int, opts Options) *Net {
+	opts.defaults()
+	return buildStar(n, &opts, nil)
+}
+
+func buildStar(n int, opts *Options, legacyEng *sim.Engine) *Net {
 	if n < 2 {
 		panic("topology: star needs at least two hosts")
 	}
-	opts.defaults()
+	// A star has no cuttable link: every path crosses the one switch.
+	w := newWiring(serialPartition(n, opts.Link.PropDelay), opts, legacyEng)
+	net := w.net
+	eng := w.engine(0)
 	sw := device.NewSwitch(eng, "sw0")
-	pool := newPool(&opts)
-	pkts := newPacketPool(&opts)
-	net := &Net{Engine: eng, Switches: []*device.Switch{sw}, PacketPool: pkts, hostPorts: make(map[int]*device.Port)}
+	pool := newPool(opts)
+	pkts := w.pool(0)
+	net.Switches = []*device.Switch{sw}
 	for i := 0; i < n; i++ {
 		h := device.NewHost(eng, i)
 		h.Pool = pkts
-		h.NIC = device.NewPort(eng, newHostEgress(&opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
-		down := device.NewPort(eng, newEgress(&opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
+		h.NIC = device.NewPort(eng, newHostEgress(opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
+		down := w.port(0, 0, newEgress(opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
-		net.SwitchPorts = append(net.SwitchPorts, down)
+		w.addSwitchPort(0, down)
 		net.Hosts = append(net.Hosts, h)
 	}
 	return net
 }
 
 // Dumbbell builds nPairs senders and nPairs receivers on two switches
-// joined by a single bottleneck link: senders 0..nPairs-1 attach to the
-// left switch, receivers nPairs..2nPairs-1 to the right.
+// joined by a single bottleneck link, on a caller-owned serial engine:
+// senders 0..nPairs-1 attach to the left switch, receivers
+// nPairs..2nPairs-1 to the right.
 func Dumbbell(eng *sim.Engine, nPairs int, opts Options) *Net {
+	opts.defaults()
+	if opts.Shards > 0 {
+		panic("topology: Dumbbell with Shards set — use NewDumbbell, which owns the engines")
+	}
+	return buildDumbbell(nPairs, &opts, eng)
+}
+
+// NewDumbbell is the topology-owned Dumbbell constructor; with
+// Options.Shards > 0 the two sides become separate domains cut on the
+// bottleneck link.
+func NewDumbbell(nPairs int, opts Options) *Net {
+	opts.defaults()
+	return buildDumbbell(nPairs, &opts, nil)
+}
+
+func buildDumbbell(nPairs int, opts *Options, legacyEng *sim.Engine) *Net {
 	if nPairs < 1 {
 		panic("topology: dumbbell needs at least one pair")
 	}
-	opts.defaults()
-	left := device.NewSwitch(eng, "left")
-	right := device.NewSwitch(eng, "right")
-	leftPool, rightPool := newPool(&opts), newPool(&opts)
-	pkts := newPacketPool(&opts)
-	net := &Net{Engine: eng, Switches: []*device.Switch{left, right}, PacketPool: pkts, hostPorts: make(map[int]*device.Port)}
+	part := serialPartition(2*nPairs, opts.Link.PropDelay)
+	if legacyEng == nil && opts.Shards > 0 {
+		part = PartitionDumbbell(nPairs, *opts)
+	}
+	w := newWiring(part, opts, legacyEng)
+	net := w.net
+	domOf := func(i int) int { return part.HostDom[i] }
+	left := device.NewSwitch(w.engine(domOf(0)), "left")
+	right := device.NewSwitch(w.engine(domOf(2*nPairs-1)), "right")
+	leftDom, rightDom := domOf(0), domOf(2*nPairs-1)
+	leftPool, rightPool := newPool(opts), newPool(opts)
+	net.Switches = []*device.Switch{left, right}
 
 	// The inter-switch bottleneck carries AQM in both directions.
-	l2r := device.NewPort(eng, newEgress(&opts, leftPool, pkts), opts.Link.RateBps, opts.Link.PropDelay, right)
-	r2l := device.NewPort(eng, newEgress(&opts, rightPool, pkts), opts.Link.RateBps, opts.Link.PropDelay, left)
-	net.SwitchPorts = append(net.SwitchPorts, l2r, r2l)
+	l2r := w.port(leftDom, rightDom, newEgress(opts, leftPool, w.pool(leftDom)), opts.Link.RateBps, opts.FabricPropDelay, right)
+	r2l := w.port(rightDom, leftDom, newEgress(opts, rightPool, w.pool(rightDom)), opts.Link.RateBps, opts.FabricPropDelay, left)
+	w.addSwitchPort(leftDom, l2r)
+	w.addSwitchPort(rightDom, r2l)
 
 	for i := 0; i < 2*nPairs; i++ {
+		dom := domOf(i)
+		eng := w.engine(dom)
+		pkts := w.pool(dom)
 		h := device.NewHost(eng, i)
-		sw, pool := left, leftPool
+		sw, pool, swDom := left, leftPool, leftDom
 		if i >= nPairs {
-			sw, pool = right, rightPool
+			sw, pool, swDom = right, rightPool, rightDom
 		}
 		h.Pool = pkts
-		h.NIC = device.NewPort(eng, newHostEgress(&opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
-		down := device.NewPort(eng, newEgress(&opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
+		h.NIC = device.NewPort(eng, newHostEgress(opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
+		down := w.port(swDom, dom, newEgress(opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
-		net.SwitchPorts = append(net.SwitchPorts, down)
+		w.addSwitchPort(swDom, down)
 		net.Hosts = append(net.Hosts, h)
 	}
 	// Cross routes traverse the bottleneck.
@@ -243,64 +443,101 @@ func Dumbbell(eng *sim.Engine, nPairs int, opts Options) *Net {
 	return net
 }
 
-// LeafSpine builds the §5.3 fabric: spines×leaves switches with
-// hostsPerLeaf hosts per leaf, ECMP across all spines for inter-leaf
-// traffic. Host ids are leaf-major: leaf l owns hosts
-// [l·hostsPerLeaf, (l+1)·hostsPerLeaf).
+// LeafSpine builds the §5.3 fabric on a caller-owned serial engine:
+// spines×leaves switches with hostsPerLeaf hosts per leaf, ECMP across
+// all spines for inter-leaf traffic. Host ids are leaf-major: leaf l owns
+// hosts [l·hostsPerLeaf, (l+1)·hostsPerLeaf).
 func LeafSpine(eng *sim.Engine, spines, leaves, hostsPerLeaf int, opts Options) *Net {
+	opts.defaults()
+	if opts.Shards > 0 {
+		panic("topology: LeafSpine with Shards set — use NewLeafSpine, which owns the engines")
+	}
+	return buildLeafSpine(spines, leaves, hostsPerLeaf, &opts, eng)
+}
+
+// NewLeafSpine is the topology-owned LeafSpine constructor; with
+// Options.Shards > 0 the fabric partitions into one domain per leaf
+// (switch plus hosts) and one per spine, cut on every fabric link.
+func NewLeafSpine(spines, leaves, hostsPerLeaf int, opts Options) *Net {
+	opts.defaults()
+	return buildLeafSpine(spines, leaves, hostsPerLeaf, &opts, nil)
+}
+
+func buildLeafSpine(spines, leaves, hostsPerLeaf int, opts *Options, legacyEng *sim.Engine) *Net {
 	if spines < 1 || leaves < 1 || hostsPerLeaf < 1 {
 		panic("topology: leaf-spine dimensions must be positive")
 	}
-	opts.defaults()
-	pkts := newPacketPool(&opts)
-	net := &Net{Engine: eng, PacketPool: pkts, hostPorts: make(map[int]*device.Port)}
+	part := serialPartition(leaves*hostsPerLeaf, opts.Link.PropDelay)
+	sharded := legacyEng == nil && opts.Shards > 0
+	if sharded {
+		part = PartitionLeafSpine(spines, leaves, hostsPerLeaf, *opts)
+	}
+	w := newWiring(part, opts, legacyEng)
+	net := w.net
+	// Domain of leaf l / spine s; everything collapses to 0 when serial.
+	ldom := func(l int) int {
+		if sharded {
+			return leafDomain(l)
+		}
+		return 0
+	}
+	sdom := func(s int) int {
+		if sharded {
+			return spineDomain(leaves, s)
+		}
+		return 0
+	}
 
 	spineSw := make([]*device.Switch, spines)
 	spinePools := make([]*queue.SharedPool, spines)
+	spineRoutes := make([]*spineRouter, spines)
 	for s := range spineSw {
-		spineSw[s] = device.NewSwitch(eng, fmt.Sprintf("spine%d", s))
-		spinePools[s] = newPool(&opts)
+		spineSw[s] = device.NewSwitch(w.engine(sdom(s)), fmt.Sprintf("spine%d", s))
+		spinePools[s] = newPool(opts)
+		spineRoutes[s] = &spineRouter{hostsPerLeaf: hostsPerLeaf, down: make([]*device.Port, leaves)}
+		spineSw[s].SetRouter(spineRoutes[s])
 		net.Switches = append(net.Switches, spineSw[s])
 	}
 	leafSw := make([]*device.Switch, leaves)
 	leafPools := make([]*queue.SharedPool, leaves)
+	leafRoutes := make([]*leafRouter, leaves)
 	for l := range leafSw {
-		leafSw[l] = device.NewSwitch(eng, fmt.Sprintf("leaf%d", l))
-		leafPools[l] = newPool(&opts)
+		leafSw[l] = device.NewSwitch(w.engine(ldom(l)), fmt.Sprintf("leaf%d", l))
+		leafPools[l] = newPool(opts)
+		leafRoutes[l] = &leafRouter{base: l * hostsPerLeaf, local: make([]*device.Port, hostsPerLeaf)}
+		leafSw[l].SetRouter(leafRoutes[l])
 		net.Switches = append(net.Switches, leafSw[l])
 	}
 
 	// Hosts and access links.
 	for l := 0; l < leaves; l++ {
+		dom := ldom(l)
+		eng := w.engine(dom)
+		pkts := w.pool(dom)
 		for k := 0; k < hostsPerLeaf; k++ {
 			id := l*hostsPerLeaf + k
 			h := device.NewHost(eng, id)
 			h.Pool = pkts
-			h.NIC = device.NewPort(eng, newHostEgress(&opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
-			down := device.NewPort(eng, newEgress(&opts, leafPools[l], pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
-			leafSw[l].AddRoute(id, down)
+			h.NIC = device.NewPort(eng, newHostEgress(opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
+			down := w.port(dom, dom, newEgress(opts, leafPools[l], pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
+			leafRoutes[l].local[k] = down
 			net.hostPorts[id] = down
-			net.SwitchPorts = append(net.SwitchPorts, down)
+			w.addSwitchPort(dom, down)
 			net.Hosts = append(net.Hosts, h)
 		}
 	}
 
-	// Leaf <-> spine fabric links and routes.
+	// Leaf <-> spine fabric links. The leaf's uplink set is appended in
+	// spine order — the same equal-cost order the FIB-based wiring used —
+	// so the ECMP hash selects identical paths.
 	for l := 0; l < leaves; l++ {
 		for s := 0; s < spines; s++ {
-			up := device.NewPort(eng, newEgress(&opts, leafPools[l], pkts), opts.Link.RateBps, opts.Link.PropDelay, spineSw[s])
-			down := device.NewPort(eng, newEgress(&opts, spinePools[s], pkts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
-			net.SwitchPorts = append(net.SwitchPorts, up, down)
-			// Leaf l reaches every non-local host through any spine (ECMP).
-			for dst := 0; dst < leaves*hostsPerLeaf; dst++ {
-				if dst/hostsPerLeaf != l {
-					leafSw[l].AddRoute(dst, up)
-				}
-			}
-			// Spine s reaches leaf l's hosts through this down port.
-			for k := 0; k < hostsPerLeaf; k++ {
-				spineSw[s].AddRoute(l*hostsPerLeaf+k, down)
-			}
+			up := w.port(ldom(l), sdom(s), newEgress(opts, leafPools[l], w.pool(ldom(l))), opts.Link.RateBps, opts.FabricPropDelay, spineSw[s])
+			down := w.port(sdom(s), ldom(l), newEgress(opts, spinePools[s], w.pool(sdom(s))), opts.Link.RateBps, opts.FabricPropDelay, leafSw[l])
+			w.addSwitchPort(ldom(l), up)
+			w.addSwitchPort(sdom(s), down)
+			leafRoutes[l].up = append(leafRoutes[l].up, up)
+			spineRoutes[s].down[l] = down
 		}
 	}
 	return net

@@ -73,6 +73,9 @@ func NewReceiver(eng *sim.Engine, cfg Config, host *device.Host, flowID uint64, 
 // RcvNxt returns the next expected byte (bytes delivered in order).
 func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
 
+// Engine returns the engine the receiver runs on (its host's domain).
+func (r *Receiver) Engine() *sim.Engine { return r.eng }
+
 // Close unregisters the receiver and cancels any pending delayed ACK.
 func (r *Receiver) Close() {
 	r.host.Unregister(r.flowID)

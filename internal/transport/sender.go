@@ -105,6 +105,9 @@ func NewSender(eng *sim.Engine, cfg Config, host *device.Host, flowID uint64,
 // Control exposes the flow's ECN responder (for tests).
 func (s *Sender) Control() ECNControl { return s.cc }
 
+// Engine returns the engine the sender runs on (its source host's domain).
+func (s *Sender) Engine() *sim.Engine { return s.eng }
+
 // Cwnd returns the congestion window in bytes (for tests and tracing).
 func (s *Sender) Cwnd() float64 { return s.cwnd }
 

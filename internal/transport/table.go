@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"fmt"
+
+	"ecnsharp/internal/device"
+	"ecnsharp/internal/sim"
+)
+
+// FlowTable holds the bookkeeping of every flow in a run in a
+// struct-of-arrays layout: one parallel slice per field instead of one
+// heap object per flow. The hot loops that touch flow state in bulk —
+// completion accounting, end-of-run stats sweeps, scale benchmarks with
+// 100k concurrent flows — then walk dense int64/bool arrays instead of
+// chasing pointers, and the per-flow metadata footprint is a few dozen
+// bytes instead of a boxed struct plus closure captures.
+//
+// Under a sharded engine the table is also the concurrency boundary for
+// completions: a flow's completion callback runs on its source host's
+// domain worker and writes only that flow's elements (disjoint indices
+// are distinct memory locations, so no two workers ever race on them)
+// plus whatever the OnDone hook touches, which the caller keys by domain
+// (see experiments.RunContext).
+type FlowTable struct {
+	// IDs[i] is flow i's wire identifier (unique per run).
+	IDs []uint64
+	// Src and Dst are the endpoint host ids.
+	Src, Dst []int
+	// Size is the flow length in bytes.
+	Size []int64
+	// Start is the scheduled start time.
+	Start []sim.Time
+	// FCT is the completion time (valid once Done).
+	FCT []sim.Time
+	// Done marks completed flows.
+	Done []bool
+	// Query marks query (incast-style) flows for FCT bucketing.
+	Query []bool
+
+	// Senders and Receivers are the live endpoints, index-aligned with
+	// the field slices.
+	Senders   []*Sender
+	Receivers []*Receiver
+
+	// CloseOnDone closes a flow's receiver inside its completion callback
+	// (the serial engine's historical behavior). Sharded runs leave it
+	// false — the receiver lives in the destination host's domain, which
+	// the source domain's worker must not mutate — and call CloseAll once
+	// the run has drained.
+	CloseOnDone bool
+
+	// OnDone, when non-nil, runs at flow completion (after FCT/Done are
+	// recorded and any CloseOnDone close) with the flow's index.
+	OnDone func(i int)
+}
+
+// NewFlowTable returns a table with capacity reserved for n flows.
+func NewFlowTable(n int) *FlowTable {
+	return &FlowTable{
+		IDs:       make([]uint64, 0, n),
+		Src:       make([]int, 0, n),
+		Dst:       make([]int, 0, n),
+		Size:      make([]int64, 0, n),
+		Start:     make([]sim.Time, 0, n),
+		FCT:       make([]sim.Time, 0, n),
+		Done:      make([]bool, 0, n),
+		Query:     make([]bool, 0, n),
+		Senders:   make([]*Sender, 0, n),
+		Receivers: make([]*Receiver, 0, n),
+	}
+}
+
+// Len returns the number of flows in the table.
+func (t *FlowTable) Len() int { return len(t.IDs) }
+
+// Launch creates both endpoints of a flow and schedules its start,
+// appending its state to the table and returning its index. The receiver
+// registers immediately on the destination host's engine (it must exist
+// before the first segment can arrive); the sender transmits on the
+// source host's engine from start. On a serial network both engines are
+// the same; under sharding each endpoint lives in its host's domain.
+func (t *FlowTable) Launch(cfg Config, src, dst *device.Host, flowID uint64,
+	size int64, start sim.Time, query bool) int {
+	if src == dst {
+		panic(fmt.Sprintf("transport: flow %d has identical endpoints", flowID))
+	}
+	i := len(t.IDs)
+	t.IDs = append(t.IDs, flowID)
+	t.Src = append(t.Src, src.ID)
+	t.Dst = append(t.Dst, dst.ID)
+	t.Size = append(t.Size, size)
+	t.Start = append(t.Start, start)
+	t.FCT = append(t.FCT, 0)
+	t.Done = append(t.Done, false)
+	t.Query = append(t.Query, query)
+	t.Receivers = append(t.Receivers, NewReceiver(dst.Engine(), cfg, dst, flowID, src.ID))
+	sender := NewSender(src.Engine(), cfg, src, flowID, dst.ID, size, func(fct sim.Time) {
+		t.FCT[i] = fct
+		t.Done[i] = true
+		if t.CloseOnDone {
+			t.Receivers[i].Close()
+		}
+		if t.OnDone != nil {
+			t.OnDone(i)
+		}
+	})
+	t.Senders = append(t.Senders, sender)
+	src.Engine().Schedule(start, sender.Start)
+	return i
+}
+
+// CloseAll closes every receiver. Sharded runs call it after the engines
+// have drained (single-threaded teardown), replacing the per-completion
+// close of the serial path; closing an already-closed receiver is
+// harmless (unregister of an absent handler plus a dead timer cancel).
+func (t *FlowTable) CloseAll() {
+	for _, r := range t.Receivers {
+		r.Close()
+	}
+}
