@@ -26,6 +26,7 @@ func benchSuite() []benchSpec {
 		{"EgressFIFO", bench.EgressFIFO},
 		{"BulkTransfer", bench.BulkTransfer},
 		{"IncastBurst", bench.IncastBurst},
+		{"FlapStorm", bench.FlapStorm},
 	}
 }
 

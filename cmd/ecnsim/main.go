@@ -12,6 +12,7 @@
 //	ecnsim -topo leafspine -scheme codel -load 0.4
 //	ecnsim -seeds 1,2,3 -parallel 3   # pooled statistics over three seeds
 //	ecnsim -trace run.jsonl -trace-events mark,drop -trace-sample 10
+//	ecnsim -topo leafspine -faults flaps.json -trace churn.jsonl -trace-events fault,reroute,flow_fail
 package main
 
 import (
@@ -28,11 +29,13 @@ import (
 	"time"
 
 	"ecnsharp/internal/experiments"
+	"ecnsharp/internal/fault"
 	"ecnsharp/internal/harness"
 	"ecnsharp/internal/rttvar"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
 	"ecnsharp/internal/trace"
+	"ecnsharp/internal/transport"
 	"ecnsharp/internal/workload"
 )
 
@@ -54,11 +57,13 @@ func main() {
 		variation  = flag.Float64("rtt-variation", 3, "RTT variation factor (RTTmax/RTTmin)")
 		replayPath = flag.String("replay", "", "replay flows from this flow CSV instead of generating them")
 		saveFlows  = flag.String("save-flows", "", "write the generated flows to this flow CSV")
+		faultsPath = flag.String("faults", "",
+			"inject topology faults from this JSON schedule (link flaps, switch\nfailures, degrades — see internal/fault and DESIGN.md)")
 
 		traceFile = flag.String("trace", "",
 			"stream an event trace to this file (JSONL; a .csv suffix selects CSV);\nwith multiple seeds each job writes <name>.job<N><ext>  (see TRACING.md)")
 		traceEvents = flag.String("trace-events", "all",
-			"comma-separated event types to trace: enqueue,dequeue,drop,mark,sojourn,cwnd,rate,echo,flow_start,flow_finish or all")
+			"comma-separated event types to trace: enqueue,dequeue,drop,mark,sojourn,cwnd,rate,echo,flow_start,flow_finish,fault,reroute,flow_fail or all")
 		traceSample = flag.Int("trace-sample", 1, "keep every n-th selected event (sampling stride)")
 	)
 	flag.Parse()
@@ -174,6 +179,19 @@ func main() {
 		cfg.Flows = specs
 	}
 
+	if *faultsPath != "" {
+		sched, err := fault.Load(*faultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = sched
+		// Bound RTO retries so a schedule that permanently severs a path
+		// fails its flows (reported below) instead of hanging the run.
+		cfg.Transport = transport.DefaultConfig()
+		cfg.Transport.MaxConsecTimeouts = 20
+	}
+
 	// Event tracing: one writer per run. Under -seeds/-parallel every job
 	// gets its own file named by its harness job id, so concurrent runs
 	// never interleave writes; the files are flushed after all runs finish.
@@ -248,7 +266,14 @@ func main() {
 	if len(seeds) > 1 {
 		fmt.Printf("pooled    %d seeds %v\n", len(seeds), seeds)
 	}
-	fmt.Printf("completed %d/%d flows\n\n", r.Completed, r.Injected)
+	if cfg.Faults != nil {
+		fmt.Printf("faults    %s\n", *faultsPath)
+	}
+	fmt.Printf("completed %d/%d flows", r.Completed, r.Injected)
+	if r.Failed > 0 {
+		fmt.Printf(" (%d failed by RTO exhaustion)", r.Failed)
+	}
+	fmt.Printf("\n\n")
 	fmt.Printf("FCT overall avg      %10.1f us (%d flows)\n", s.OverallAvg, s.OverallCount)
 	fmt.Printf("FCT short (<=100KB)  %10.1f us avg, %10.1f us p99 (%d flows)\n",
 		s.ShortAvg, s.ShortP99, s.ShortCount)

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"ecnsharp/internal/aqm"
+	"ecnsharp/internal/fault"
 	"ecnsharp/internal/packet"
 	"ecnsharp/internal/queue"
 	"ecnsharp/internal/sim"
@@ -106,6 +107,53 @@ func BulkTransfer(b *testing.B) {
 		eng.Run()
 		if !fl1.Done || !fl2.Done {
 			b.Fatal("flows incomplete")
+		}
+	}
+}
+
+// FlapStorm measures the fault-injection path at scale: a 1024-host
+// leaf-spine fabric (4 spines x 16 leaves x 16 hosts) with one spine
+// uplink flapping 100 times while cross-leaf flows ride the churn
+// through RTO recovery and ECMP re-resolution. This is the injector's
+// worst case — every flap re-resolves the flapping leaf's uplink sets —
+// and it bounds the per-transition cost of fault handling; the healthy
+// hot path itself stays zero-alloc (the other benchmarks run with no
+// schedule attached and their allocs/op do not move).
+func FlapStorm(b *testing.B) {
+	sched := &fault.Schedule{
+		Seed: 7,
+		Flaps: []fault.Flap{{
+			Link:        "leaf0-spine1",
+			Count:       100,
+			FirstDownUS: 20,
+			MeanDownUS:  30,
+			MeanGapUS:   50,
+		}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := topology.NewLeafSpine(4, 16, 16, topology.Options{
+			Link: topology.LinkParams{
+				RateBps:     topology.TenGbps,
+				PropDelay:   sim.Microsecond,
+				BufferBytes: 600 * 1500,
+			},
+			NewAQM: func(int) aqm.AQM { return aqm.NewREDInstantBytes(100 * 1500) },
+		})
+		if _, err := fault.Install(net, sched); err != nil {
+			b.Fatal(err)
+		}
+		cfg := transport.DefaultConfig()
+		done := 0
+		for f := 0; f < 8; f++ {
+			// Sources on leaf0 so every flow's uplink set is the one the
+			// flapping link belongs to; destinations spread across leaves.
+			transport.StartFlow(net.Engine, cfg, net.Host(f), net.Host(16*(1+f)+f),
+				uint64(f+1), 1_000_000, 0, func(*transport.Flow) { done++ })
+		}
+		net.Engine.Run()
+		if done != 8 {
+			b.Fatal("flows incomplete under flap storm")
 		}
 	}
 }

@@ -42,6 +42,12 @@ type Port struct {
 
 	busy  bool
 	txPkt *packet.Packet // packet occupying the transmitter while busy
+	txEv  sim.Event      // in-flight serialization event (cancelled on link-down)
+
+	// Fault state. down discards traffic at the transmitter (SetDown);
+	// closed rejects Send entirely (Close, after teardown).
+	down   bool
+	closed bool
 
 	txDoneFn  func()    // bound once: serialization finished
 	deliverFn func(any) // bound once: propagation finished, deliver to Dst
@@ -54,6 +60,11 @@ type Port struct {
 	// TxBytes and TxPackets count transmitted (dequeued) traffic.
 	TxBytes   int64
 	TxPackets int64
+	// FaultDrops counts packets the port's fault logic discarded outside
+	// the egress accounting: the packet on the transmitter when the link
+	// went down, and packets arriving at a downed port. (Queued packets
+	// drained on link-down are counted as egress Drops like any tail drop.)
+	FaultDrops int64
 }
 
 // NewPort builds a transmit port. The egress must be non-nil.
@@ -77,8 +88,19 @@ func (pt *Port) TxTime(n int) sim.Time {
 
 // Send enqueues p for transmission (possibly dropping on buffer overflow)
 // and kicks the transmitter. A dropped packet is recycled by the egress;
-// the caller relinquishes ownership either way.
+// the caller relinquishes ownership either way. Sending on a downed link
+// loses the packet (counted in FaultDrops); sending on a closed port —
+// one the net tore down — panics with a clear message instead of
+// scheduling onto a finished engine.
 func (pt *Port) Send(p *packet.Packet) {
+	if pt.closed {
+		panic(fmt.Sprintf("device: Send on closed port to %s after teardown", pt.Dst.Name()))
+	}
+	if pt.down {
+		pt.FaultDrops++
+		pt.Egress.PacketPool.Put(p)
+		return
+	}
 	if pt.Egress.Enqueue(pt.eng.Now(), p) {
 		pt.kick()
 	}
@@ -98,9 +120,67 @@ func (pt *Port) kick() {
 	pt.TxBytes += int64(p.Size())
 	pt.TxPackets++
 	// Transmitter frees after serialization; the packet lands at the
-	// destination one propagation delay later (see txDone).
-	pt.eng.After(pt.TxTime(p.Size()), pt.txDoneFn)
+	// destination one propagation delay later (see txDone). The event
+	// handle is kept so a link-down can cancel the in-flight transmission.
+	pt.txEv = pt.eng.After(pt.TxTime(p.Size()), pt.txDoneFn)
 }
+
+// SetDown transitions the port's link state. Taking the link down is
+// lossy: the packet on the transmitter is discarded (its serialization
+// event cancelled), the egress buffer is drained as drops, and packets
+// arriving while down are lost on the spot. Packets that already finished
+// serializing keep propagating and deliver — they were on the wire. Under
+// a sharded engine this extends to handed-off packets: a boundary message
+// buffered before the transition still drains at the next barrier, which
+// models the same physics. Bringing the link back up restarts service
+// from an empty buffer.
+func (pt *Port) SetDown(down bool) {
+	if pt.down == down {
+		return
+	}
+	pt.down = down
+	if !down {
+		pt.kick()
+		return
+	}
+	if pt.busy {
+		pt.eng.Cancel(pt.txEv)
+		pt.txEv = sim.Event{}
+		pt.busy = false
+		pt.FaultDrops++
+		p := pt.txPkt
+		pt.txPkt = nil
+		pt.Egress.PacketPool.Put(p)
+	}
+	pt.Egress.DropAll(pt.eng.Now())
+}
+
+// Down reports whether the link is currently down.
+func (pt *Port) Down() bool { return pt.down }
+
+// Degrade re-parameterizes the link mid-run: a positive rate and/or
+// propagation delay replaces the current value (zero keeps it). A packet
+// already serializing keeps its old timing; subsequent packets use the
+// new parameters. Callers degrading a cross-domain boundary link must not
+// lower the propagation delay below the sharded lookahead (the fault
+// injector validates this at install time).
+func (pt *Port) Degrade(rateBps float64, prop sim.Time) {
+	if rateBps > 0 {
+		pt.RateBps = rateBps
+	}
+	if prop > 0 {
+		pt.PropDelay = prop
+	}
+}
+
+// Close marks the port torn down: any later Send panics with a clear
+// error instead of scheduling onto a finished engine. There is no reopen;
+// teardown is terminal.
+func (pt *Port) Close() { pt.closed = true }
+
+// IsBoundary reports whether the port transmits through a cross-domain
+// handoff (a cut link of a sharded build).
+func (pt *Port) IsBoundary() bool { return pt.remote != nil }
 
 // SetRemote marks the port as a cross-domain boundary of a sharded
 // engine: packets finishing serialization are buffered on h and injected
@@ -115,6 +195,7 @@ func (pt *Port) txDone() {
 	p := pt.txPkt
 	pt.txPkt = nil
 	pt.busy = false
+	pt.txEv = sim.Event{}
 	if pt.remote != nil {
 		pt.remote.Send(pt.eng.Now()+pt.PropDelay, p)
 	} else {
@@ -128,9 +209,13 @@ func (pt *Port) txDone() {
 // per-destination FIB map costs O(hosts) entries per switch — gigabytes at
 // 100k hosts — while a structured router answers from the topology's
 // arithmetic with a handful of shared slices. The returned slice must be
-// stable for the lifetime of the run and is indexed by the same ECMP flow
-// hash as FIB entries, so a structured router reproduces FIB forwarding
-// byte-for-byte when its port order matches AddRoute order.
+// stable between routing epochs (it only ever changes when a fault-driven
+// reroute re-resolves the ECMP sets; healthy runs never change it) and is
+// indexed by the same ECMP flow hash as FIB entries, so a structured
+// router reproduces FIB forwarding byte-for-byte when its port order
+// matches AddRoute order. An empty set means no surviving path: the
+// switch blackholes the packet (or panics, if fault injection never
+// enabled blackholing — then it is a wiring bug).
 type Router interface {
 	// Route returns the equal-cost port set toward host dst; the slice
 	// must not be mutated by the caller.
@@ -147,8 +232,17 @@ type Switch struct {
 	fib map[int][]*Port
 	// router, when non-nil, replaces the fib (see Router).
 	router Router
+	// Fault state: failed blackholes everything; blackholeOK turns the
+	// no-route panic (a wiring bug on healthy fabrics) into a drop (the
+	// expected outcome when every equal-cost path is dead).
+	failed        bool
+	blackholeOK   bool
+	blackholePool *packet.Pool
 	// RxPackets counts packets received for forwarding.
 	RxPackets int64
+	// Blackholed counts packets discarded because the switch had failed or
+	// no surviving route existed (only once EnableBlackhole was called).
+	Blackholed int64
 }
 
 // NewSwitch builds an empty switch.
@@ -169,6 +263,28 @@ func (s *Switch) AddRoute(dst int, p *Port) {
 // forwarding state O(ports) instead of O(hosts).
 func (s *Switch) SetRouter(r Router) { s.router = r }
 
+// EnableBlackhole switches no-route handling from panic (a wiring bug on
+// a healthy fabric) to silent drop (the expected fate of packets whose
+// every equal-cost path died). pool receives the dropped packets; nil
+// leaves them to the garbage collector. Fault injection enables this on
+// every switch before the run.
+func (s *Switch) EnableBlackhole(pool *packet.Pool) {
+	s.blackholeOK = true
+	s.blackholePool = pool
+}
+
+// SetFailed marks the switch dead (blackholing every received packet) or
+// alive again. Requires EnableBlackhole to have been called.
+func (s *Switch) SetFailed(failed bool) {
+	if failed && !s.blackholeOK {
+		panic(fmt.Sprintf("device: switch %s failed without EnableBlackhole", s.id))
+	}
+	s.failed = failed
+}
+
+// Failed reports whether the switch is currently failed.
+func (s *Switch) Failed() bool { return s.failed }
+
 // Routes returns the ECMP port set for dst (for tests).
 func (s *Switch) Routes(dst int) []*Port {
 	if s.router != nil {
@@ -181,6 +297,11 @@ func (s *Switch) Routes(dst int) []*Port {
 // per-flow ECMP.
 func (s *Switch) Receive(p *packet.Packet) {
 	s.RxPackets++
+	if s.failed {
+		s.Blackholed++
+		s.blackholePool.Put(p)
+		return
+	}
 	var ports []*Port
 	if s.router != nil {
 		ports = s.router.Route(p.Dst)
@@ -188,6 +309,11 @@ func (s *Switch) Receive(p *packet.Packet) {
 		ports = s.fib[p.Dst]
 	}
 	if len(ports) == 0 {
+		if s.blackholeOK {
+			s.Blackholed++
+			s.blackholePool.Put(p)
+			return
+		}
 		panic(fmt.Sprintf("device: switch %s has no route to host %d", s.id, p.Dst))
 	}
 	var pt *Port

@@ -95,7 +95,7 @@ func TestTestbedSchemesMatchPaper(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
+	if len(all) != 20 {
 		t.Errorf("%d experiments registered", len(all))
 	}
 	seen := map[string]bool{}

@@ -49,6 +49,12 @@ func All() []Experiment {
 			func(sc Scale) []*Table { return []*Table{BufferModels(sc)} }},
 		{"dcqcn", "§3.5 closed loop: DCQCN-lite endpoints under cut-off vs probabilistic marking",
 			func(sc Scale) []*Table { return []*Table{DCQCNExtension(sc)} }},
+		{"churn-flap", "robustness: flapping spine uplink under web-search load (ECN# vs DCTCP default)",
+			func(sc Scale) []*Table { return []*Table{ChurnFlap(sc)} }},
+		{"churn-incast", "robustness: leaf switch dies mid-incast and recovers",
+			func(sc Scale) []*Table { return []*Table{ChurnIncast(sc)} }},
+		{"churn-maint", "robustness: rolling spine maintenance, one spine out at a time",
+			func(sc Scale) []*Table { return []*Table{ChurnMaint(sc)} }},
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ecnsharp/internal/aqm"
 
+	"ecnsharp/internal/fault"
 	"ecnsharp/internal/harness"
 	"ecnsharp/internal/metrics"
 	"ecnsharp/internal/packet"
@@ -109,6 +110,11 @@ type RunConfig struct {
 	SampleEnd      sim.Time
 	SampleInterval sim.Time
 
+	// Faults, when non-nil, is installed on the network before any flow
+	// starts: its transitions pre-schedule on the domain engines, so churn
+	// runs stay byte-deterministic at any shard count (see fault.Install).
+	Faults *fault.Schedule
+
 	// Deadline stops the run early (0 = run until all flows complete).
 	Deadline sim.Time
 }
@@ -123,7 +129,10 @@ type RunResult struct {
 	Timeouts    int64
 	Retransmits int64
 	Completed   int
-	Injected    int
+	// Failed counts flows that gave up by RTO exhaustion — only possible
+	// under fault injection with Transport.MaxConsecTimeouts set.
+	Failed   int
+	Injected int
 
 	QueueSamples []metrics.QueueSample
 	AvgQueuePkts float64
@@ -228,6 +237,12 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		}
 	}
 
+	if cfg.Faults != nil {
+		if _, err := fault.Install(net, cfg.Faults); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+	}
+
 	var assigner *rttvar.Assigner
 	if cfg.RTT != nil {
 		assigner = rttvar.NewAssigner(*cfg.RTT, pathRTT(&cfg), rng)
@@ -250,6 +265,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		collectors[d] = metrics.NewFCTCollector()
 	}
 	completedBy := make([]int, doms)
+	failedBy := make([]int, doms)
 
 	table := transport.NewFlowTable(len(specs))
 	table.CloseOnDone = net.Shard == nil
@@ -257,6 +273,9 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		d := net.DomainOfHost(table.Src[i])
 		completedBy[d]++
 		collectors[d].Record(table.Size[i], table.FCT[i], table.Query[i])
+	}
+	table.OnFail = func(i int) {
+		failedBy[net.DomainOfHost(table.Src[i])]++
 	}
 	for i, spec := range specs {
 		id := uint64(i + 1)
@@ -295,9 +314,10 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 			collector.Merge(c)
 		}
 	}
-	completed := 0
-	for _, c := range completedBy {
-		completed += c
+	completed, failed := 0, 0
+	for d := range completedBy {
+		completed += completedBy[d]
+		failed += failedBy[d]
 	}
 
 	res := RunResult{
@@ -306,6 +326,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		Drops:     net.TotalDrops(),
 		Marks:     net.TotalMarks(),
 		Completed: completed,
+		Failed:    failed,
 		Injected:  len(specs),
 		Net:       net,
 	}
@@ -389,6 +410,7 @@ func MergeRuns(runs []RunResult) RunResult {
 		merged.Timeouts += r.Timeouts
 		merged.Retransmits += r.Retransmits
 		merged.Completed += r.Completed
+		merged.Failed += r.Failed
 		merged.Injected += r.Injected
 		merged.QueueSamples = append(merged.QueueSamples, r.QueueSamples...)
 		if r.MaxQueuePkts > merged.MaxQueuePkts {

@@ -1,0 +1,226 @@
+// Package fault is the deterministic fault-injection engine: it turns a
+// declarative schedule of link and switch faults — explicit events plus
+// seeded random flap generators — into transitions pre-scheduled on the
+// simulation clock, so a churn run is as reproducible as a healthy one.
+//
+// A Schedule is JSON-loadable (the ecnsim -faults flag) and expands to a
+// flat transition list before the run starts; every transition is then
+// scheduled on the owning domain engines from the construction thread,
+// which pins its event order independent of worker count. See Install.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"ecnsharp/internal/dist"
+	"ecnsharp/internal/sim"
+)
+
+// Action names one fault transition kind in a schedule.
+type Action string
+
+// The schedule actions. Link actions name a census link "a-b" and apply
+// to both directions (a physical fault takes the pair down); degrade is
+// directed and applies only to the named transmit port. Switch actions
+// name a switch, which loses its buffered packets, stops forwarding
+// (arrivals blackhole), and takes all its own transmit links down.
+const (
+	LinkDown      Action = "link-down"
+	LinkUp        Action = "link-up"
+	Degrade       Action = "degrade"
+	SwitchFail    Action = "switch-fail"
+	SwitchRecover Action = "switch-recover"
+)
+
+// valid reports whether a is a recognized action.
+func (a Action) valid() bool {
+	switch a {
+	case LinkDown, LinkUp, Degrade, SwitchFail, SwitchRecover:
+		return true
+	}
+	return false
+}
+
+// isLink reports whether a targets a link (vs a switch).
+func (a Action) isLink() bool {
+	return a == LinkDown || a == LinkUp || a == Degrade
+}
+
+// Event is one explicit transition of a schedule, at an absolute sim time
+// in microseconds.
+type Event struct {
+	AtUS   float64 `json:"at_us"`
+	Action Action  `json:"action"`
+	// Link is the canonical census name ("leaf0-spine1", "host3-leaf0")
+	// for link actions.
+	Link string `json:"link,omitempty"`
+	// Switch is the switch name ("spine1", "leaf2", "sw0") for switch
+	// actions.
+	Switch string `json:"switch,omitempty"`
+	// RateBps and PropDelayUS parameterize a degrade: the new link rate
+	// and/or propagation delay. Zero keeps the current value.
+	RateBps     float64 `json:"rate_bps,omitempty"`
+	PropDelayUS float64 `json:"prop_delay_us,omitempty"`
+}
+
+// Flap is a seeded random down/up generator for one link: Count outages
+// whose durations and healthy gaps draw from exponential distributions.
+// All flap generators of a schedule share one stream seeded by
+// Schedule.Seed and are expanded in declaration order, so the same
+// schedule always yields the same transitions.
+type Flap struct {
+	Link  string `json:"link"`
+	Count int    `json:"count"`
+	// FirstDownUS is when the first outage begins.
+	FirstDownUS float64 `json:"first_down_us"`
+	// MeanDownUS and MeanGapUS are the exponential means of the outage
+	// and healthy-gap durations (each sample is floored at 1 µs).
+	MeanDownUS float64 `json:"mean_down_us"`
+	MeanGapUS  float64 `json:"mean_gap_us"`
+}
+
+// Schedule is a declarative fault-injection plan: explicit events plus
+// random flap generators.
+type Schedule struct {
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events,omitempty"`
+	Flaps  []Flap  `json:"flaps,omitempty"`
+}
+
+// Parse decodes and validates a JSON schedule. Unknown fields are
+// rejected so a typo fails loudly instead of silently injecting nothing.
+func Parse(data []byte) (*Schedule, error) {
+	var s Schedule
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a JSON schedule file.
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate checks schedule sanity without reference to any topology
+// (names resolve at Install time).
+func (s *Schedule) Validate() error {
+	for i, e := range s.Events {
+		if e.AtUS < 0 {
+			return fmt.Errorf("fault: event %d: negative time %g", i, e.AtUS)
+		}
+		if !e.Action.valid() {
+			return fmt.Errorf("fault: event %d: unknown action %q", i, e.Action)
+		}
+		if e.Action.isLink() && e.Link == "" {
+			return fmt.Errorf("fault: event %d: %s needs a link name", i, e.Action)
+		}
+		if !e.Action.isLink() && e.Switch == "" {
+			return fmt.Errorf("fault: event %d: %s needs a switch name", i, e.Action)
+		}
+		if e.Action == Degrade && e.RateBps <= 0 && e.PropDelayUS <= 0 {
+			return fmt.Errorf("fault: event %d: degrade needs a rate and/or propagation delay", i)
+		}
+		if e.RateBps < 0 || e.PropDelayUS < 0 {
+			return fmt.Errorf("fault: event %d: negative degrade parameter", i)
+		}
+	}
+	for i, f := range s.Flaps {
+		switch {
+		case f.Link == "":
+			return fmt.Errorf("fault: flap %d: needs a link name", i)
+		case f.Count <= 0:
+			return fmt.Errorf("fault: flap %d: count must be positive, got %d", i, f.Count)
+		case f.FirstDownUS < 0:
+			return fmt.Errorf("fault: flap %d: negative start %g", i, f.FirstDownUS)
+		case f.MeanDownUS <= 0 || f.MeanGapUS <= 0:
+			return fmt.Errorf("fault: flap %d: exponential means must be positive", i)
+		}
+	}
+	return nil
+}
+
+// Transition is one expanded, time-resolved fault transition.
+type Transition struct {
+	At      sim.Time
+	Action  Action
+	Link    string
+	Switch  string
+	RateBps float64
+	Prop    sim.Time
+	// Epoch is the transition's 1-based position in the expanded,
+	// time-sorted schedule; LinkFault and Reroute trace events carry it so
+	// a trace line maps back to its schedule entry.
+	Epoch uint64
+}
+
+// Expand resolves the schedule into its flat transition list: explicit
+// events verbatim, flap generators sampled from one stream seeded by
+// Seed, everything stably sorted by time (declaration order breaks ties)
+// and numbered with 1-based epochs. Expansion is pure — same schedule,
+// same transitions — which is the root of churn-run determinism.
+func (s *Schedule) Expand() ([]Transition, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	trs := make([]Transition, 0, len(s.Events)+2*totalFlapCount(s.Flaps))
+	for _, e := range s.Events {
+		trs = append(trs, Transition{
+			At:      sim.Micros(e.AtUS),
+			Action:  e.Action,
+			Link:    e.Link,
+			Switch:  e.Switch,
+			RateBps: e.RateBps,
+			Prop:    sim.Micros(e.PropDelayUS),
+		})
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	for _, f := range s.Flaps {
+		down := dist.Exponential{MeanValue: f.MeanDownUS}
+		gap := dist.Exponential{MeanValue: f.MeanGapUS}
+		t := f.FirstDownUS
+		for i := 0; i < f.Count; i++ {
+			d := floorUS(down.Sample(rng))
+			trs = append(trs,
+				Transition{At: sim.Micros(t), Action: LinkDown, Link: f.Link},
+				Transition{At: sim.Micros(t + d), Action: LinkUp, Link: f.Link})
+			t += d + floorUS(gap.Sample(rng))
+		}
+	}
+	sort.SliceStable(trs, func(i, j int) bool { return trs[i].At < trs[j].At })
+	for i := range trs {
+		trs[i].Epoch = uint64(i + 1)
+	}
+	return trs, nil
+}
+
+// floorUS floors a sampled duration at one microsecond so zero-length
+// outages and gaps cannot collapse a flap pair into a no-op.
+func floorUS(us float64) float64 {
+	if us < 1 {
+		return 1
+	}
+	return us
+}
+
+func totalFlapCount(flaps []Flap) int {
+	n := 0
+	for _, f := range flaps {
+		n += f.Count
+	}
+	return n
+}

@@ -149,6 +149,35 @@ func (e *Egress) drop(now sim.Time, p *packet.Packet) {
 	e.PacketPool.Put(p)
 }
 
+// DropAll discards every queued packet — the link-down fault path: each
+// packet is counted and traced as a drop and released exactly like a tail
+// drop, and the scheduler is told each queue emptied so service restarts
+// cleanly when the link returns. It returns the number of packets lost.
+func (e *Egress) DropAll(now sim.Time) int {
+	n := 0
+	for qi, q := range e.queues {
+		for {
+			p := q.Pop()
+			if p == nil {
+				break
+			}
+			e.bytes -= int64(p.Size())
+			if e.Pool != nil {
+				e.Pool.release(p.Size())
+			}
+			e.Drops++
+			e.DropBytes += int64(p.Size())
+			if e.tracer != nil {
+				e.emit(trace.Drop, trace.MarkUnknown, now, qi, p, 0)
+			}
+			e.PacketPool.Put(p)
+			n++
+		}
+		e.sched.Consumed(qi, 0, true)
+	}
+	return n
+}
+
 // markKind attributes a mark applied by queue qi's AQM.
 func (e *Egress) markKind(qi int) trace.MarkKind {
 	if k := e.kinds[qi]; k != nil {

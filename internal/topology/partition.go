@@ -114,14 +114,66 @@ func leafDomain(l int) int { return l }
 // given leaf count.
 func spineDomain(leaves, s int) int { return leaves + s }
 
+// fabricHealth is one simulation domain's private view of a leaf-spine
+// fabric's health under fault injection: which leaf<->spine links are up
+// and which switches are alive, plus the domain's routing-epoch counter.
+// Every domain owns its own copy — the fault injector pre-schedules each
+// transition on every domain's engine at the same timestamp — so workers
+// never read another domain's view and reroutes stay race-free and
+// worker-count independent.
+type fabricHealth struct {
+	spines, leaves int
+	// linkUp[l*spines+s] is the (leaf l, spine s) bidirectional link state.
+	linkUp     []bool
+	leafAlive  []bool
+	spineAlive []bool
+	// epoch counts fault transitions applied to this view: the domain's
+	// routing-epoch counter, carried by Reroute trace events.
+	epoch uint64
+}
+
+func newFabricHealth(spines, leaves int) *fabricHealth {
+	h := &fabricHealth{
+		spines:     spines,
+		leaves:     leaves,
+		linkUp:     make([]bool, spines*leaves),
+		leafAlive:  make([]bool, leaves),
+		spineAlive: make([]bool, spines),
+	}
+	for i := range h.linkUp {
+		h.linkUp[i] = true
+	}
+	for i := range h.leafAlive {
+		h.leafAlive[i] = true
+	}
+	for i := range h.spineAlive {
+		h.spineAlive[i] = true
+	}
+	return h
+}
+
 // leafRouter is the structured forwarding function of a leaf switch:
 // local hosts go out their dedicated down port, everything else ECMPs
 // across the shared uplink set (in spine order, matching the FIB order
 // the map-based wiring used, so the ECMP hash picks identical ports).
+//
+// With fault injection enabled (health non-nil) remote destinations use
+// viaTo[m] instead: the subset of uplinks, still in spine order, that can
+// currently reach destination leaf m (uplink s qualifies iff this leaf's
+// link to spine s, spine s itself, and spine s's link to leaf m are all
+// alive). The ECMP hash re-indexes into the smaller live set, so flows
+// deterministically re-spread around dead paths — the reroute-changes-
+// path-RTT effect the churn experiments measure. With everything healthy
+// viaTo[m] equals the full uplink set in the same order, so enabling
+// fault injection without any transitions changes no routing decision.
 type leafRouter struct {
 	base  int            // first host id attached to this leaf
+	self  int            // this leaf's index
 	local []*device.Port // down ports, indexed by dst-base
 	up    []*device.Port // uplinks in spine order, shared by all remote dsts
+
+	health *fabricHealth    // nil until Net.EnableFaults
+	viaTo  [][]*device.Port // per destination leaf, the live uplink subset
 }
 
 // Route implements device.Router.
@@ -129,14 +181,42 @@ func (r *leafRouter) Route(dst int) []*device.Port {
 	if i := dst - r.base; i >= 0 && i < len(r.local) {
 		return r.local[i : i+1]
 	}
-	return r.up
+	if r.health == nil {
+		return r.up
+	}
+	return r.viaTo[dst/len(r.local)]
+}
+
+// reroute recomputes the per-destination live uplink sets from the
+// owning domain's health view. The sets are rebuilt in place (capacity
+// reserved at EnableFaults), so steady-state rerouting allocates nothing.
+func (r *leafRouter) reroute() {
+	h := r.health
+	for m := range r.viaTo {
+		set := r.viaTo[m][:0]
+		if h.leafAlive[r.self] && h.leafAlive[m] {
+			for s := 0; s < h.spines; s++ {
+				if h.spineAlive[s] && h.linkUp[r.self*h.spines+s] && h.linkUp[m*h.spines+s] {
+					set = append(set, r.up[s])
+				}
+			}
+		}
+		r.viaTo[m] = set
+	}
 }
 
 // spineRouter is the structured forwarding function of a spine switch:
 // destination hosts map arithmetically to the down port of their leaf.
+// With fault injection enabled it consults the owning domain's health
+// view at route time (no per-transition rebuild needed): a dead down
+// link, dead destination leaf, or this spine itself being dead yields an
+// empty route, which the switch blackholes.
 type spineRouter struct {
 	hostsPerLeaf int
+	self         int            // this spine's index
 	down         []*device.Port // per leaf, in leaf order
+
+	health *fabricHealth // nil until Net.EnableFaults
 }
 
 // Route implements device.Router.
@@ -144,6 +224,11 @@ func (r *spineRouter) Route(dst int) []*device.Port {
 	l := dst / r.hostsPerLeaf
 	if l < 0 || l >= len(r.down) {
 		panic(fmt.Sprintf("topology: spine route for unknown host %d", dst))
+	}
+	if h := r.health; h != nil {
+		if !h.spineAlive[r.self] || !h.leafAlive[l] || !h.linkUp[l*h.spines+r.self] {
+			return nil
+		}
 	}
 	return r.down[l : l+1]
 }

@@ -125,9 +125,53 @@ type Net struct {
 	// portDoms[i] is the domain owning SwitchPorts[i].
 	portDoms []int
 
+	// Links is the directed link census: every transmit port in the
+	// network (host NICs included) under a canonical "src-dst" name —
+	// "host3-leaf0", "leaf0-spine1", "sw0-host2" — built in wiring order.
+	// Fault injection targets links by these names, and LinkFault trace
+	// events carry the census index.
+	Links   []Link
+	linkIdx map[string]int
+	// switchDoms[i] is the domain owning Switches[i].
+	switchDoms []int
+	// fabric records the leaf-spine structure for fault-driven rerouting
+	// (nil on other topologies).
+	fabric *fabricInfo
+
 	// hostPorts[h] is the switch egress port that delivers to host h
 	// (the port whose queue is the bottleneck in star experiments).
 	hostPorts map[int]*device.Port
+}
+
+// Link is one entry of the census: a directed transmit port under its
+// canonical name.
+type Link struct {
+	// Name is the canonical "src-dst" identifier.
+	Name string
+	// Port is the transmitting port.
+	Port *device.Port
+	// Dom is the simulation domain that owns the port.
+	Dom int
+	// SwitchIdx indexes Net.Switches for the transmitting switch, or -1
+	// for a host NIC.
+	SwitchIdx int
+	// Cross marks a cross-domain boundary link of a sharded build.
+	Cross bool
+	// FabricLeaf and FabricSpine are the (leaf, spine) coordinates of a
+	// leaf-spine fabric link (either direction); -1 otherwise.
+	FabricLeaf, FabricSpine int
+}
+
+// fabricInfo records the leaf-spine structure needed to re-resolve ECMP
+// around faults. It is populated by buildLeafSpine on both the serial and
+// sharded paths; health views are only materialized by EnableFaults.
+type fabricInfo struct {
+	spines, leaves, hostsPerLeaf int
+	leafRouters                  []*leafRouter
+	spineRouters                 []*spineRouter
+	leafSw, spineSw              []int // indices into Net.Switches
+	sharded                      bool
+	health                       []*fabricHealth // per domain, after EnableFaults
 }
 
 // Domains returns the number of simulation domains (1 on the serial path).
@@ -141,6 +185,168 @@ func (n *Net) DomainOfHost(id int) int { return n.Part.HostDom[id] }
 // to a host (transports, samplers on its last-hop queue) must schedule
 // here.
 func (n *Net) EngineOf(host int) *sim.Engine { return n.Engines[n.DomainOfHost(host)] }
+
+// LinkIndex resolves a canonical directed link name ("leaf0-spine1",
+// "host3-leaf0") to its census index, or -1 when unknown.
+func (n *Net) LinkIndex(name string) int {
+	if i, ok := n.linkIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// SwitchIndex resolves a switch name ("sw0", "left", "leaf2", "spine1")
+// to its index in Switches, or -1 when unknown.
+func (n *Net) SwitchIndex(name string) int {
+	for i, sw := range n.Switches {
+		if sw.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SwitchDomain returns the domain owning Switches[i].
+func (n *Net) SwitchDomain(i int) int { return n.switchDoms[i] }
+
+// SwitchFabric classifies Switches[i] on a leaf-spine fabric: (leaf, -1)
+// for a leaf, (-1, spine) for a spine, (-1, -1) for non-fabric switches
+// or non-fabric topologies.
+func (n *Net) SwitchFabric(i int) (leaf, spine int) {
+	if n.fabric != nil {
+		for l, idx := range n.fabric.leafSw {
+			if idx == i {
+				return l, -1
+			}
+		}
+		for s, idx := range n.fabric.spineSw {
+			if idx == i {
+				return -1, s
+			}
+		}
+	}
+	return -1, -1
+}
+
+// EnableFaults prepares the network for fault injection: every switch
+// drops unroutable packets into its domain's packet pool instead of
+// panicking, and on a leaf-spine fabric each domain gets a private health
+// view (see fabricHealth) so routers can re-resolve ECMP around dead
+// links. Idempotent; must be called before the run starts. With all links
+// healthy the recomputed ECMP sets are identical — same ports, same spine
+// order — to the healthy fast path, so enabling fault injection with an
+// empty schedule changes no simulated byte.
+func (n *Net) EnableFaults() {
+	for i, sw := range n.Switches {
+		sw.EnableBlackhole(n.PacketPools[n.switchDoms[i]])
+	}
+	f := n.fabric
+	if f == nil || f.health != nil {
+		return
+	}
+	f.health = make([]*fabricHealth, n.Domains())
+	for d := range f.health {
+		f.health[d] = newFabricHealth(f.spines, f.leaves)
+	}
+	domOfLeaf := func(l int) int {
+		if f.sharded {
+			return leafDomain(l)
+		}
+		return 0
+	}
+	domOfSpine := func(s int) int {
+		if f.sharded {
+			return spineDomain(f.leaves, s)
+		}
+		return 0
+	}
+	for l, r := range f.leafRouters {
+		r.health = f.health[domOfLeaf(l)]
+		r.viaTo = make([][]*device.Port, f.leaves)
+		for m := range r.viaTo {
+			r.viaTo[m] = make([]*device.Port, 0, f.spines)
+		}
+		r.reroute()
+	}
+	for s, r := range f.spineRouters {
+		r.health = f.health[domOfSpine(s)]
+	}
+}
+
+// ApplyFabricLink records the (leaf, spine) bidirectional fabric link
+// state in domain dom's health view, advances that domain's routing
+// epoch, and recomputes the ECMP sets of the routers dom owns. Under a
+// sharded engine it must run on dom's engine — the fault injector
+// pre-schedules one such call per domain per transition — and it touches
+// only dom-owned state, so workers never race. Physical port state is
+// driven separately (through the census ports, on their owning domains).
+func (n *Net) ApplyFabricLink(dom, leaf, spine int, up bool) {
+	f := n.fabric
+	if f == nil {
+		panic("topology: ApplyFabricLink on a non-fabric topology")
+	}
+	h := f.health[dom]
+	h.linkUp[leaf*f.spines+spine] = up
+	h.epoch++
+	n.recomputeDomain(dom)
+}
+
+// ApplySwitchAlive records fabric switch sw (an index into Switches)
+// dead or alive in domain dom's health view and recomputes dom's
+// routers. Same threading contract as ApplyFabricLink. A no-op epoch-
+// advance only for switches outside the fabric structure.
+func (n *Net) ApplySwitchAlive(dom, sw int, alive bool) {
+	f := n.fabric
+	if f == nil {
+		return
+	}
+	h := f.health[dom]
+	l, s := n.SwitchFabric(sw)
+	switch {
+	case l >= 0:
+		h.leafAlive[l] = alive
+	case s >= 0:
+		h.spineAlive[s] = alive
+	}
+	h.epoch++
+	n.recomputeDomain(dom)
+}
+
+// recomputeDomain rebuilds the ECMP sets of the leaf routers domain dom
+// owns (spine routers consult health at route time and need no rebuild).
+func (n *Net) recomputeDomain(dom int) {
+	f := n.fabric
+	if !f.sharded {
+		for _, r := range f.leafRouters {
+			r.reroute()
+		}
+		return
+	}
+	if dom < f.leaves {
+		f.leafRouters[dom].reroute()
+	}
+}
+
+// RoutingEpoch returns domain dom's routing-epoch counter: the number of
+// fault transitions applied to its health view (0 until fault injection
+// is enabled, and forever on healthy runs). Epochs advance only through
+// pre-scheduled fault events, identically at any worker count, which is
+// what makes reroutes deterministic and traceable.
+func (n *Net) RoutingEpoch(dom int) uint64 {
+	if n.fabric == nil || n.fabric.health == nil {
+		return 0
+	}
+	return n.fabric.health[dom].epoch
+}
+
+// Teardown closes every port in the census: any straggler Send afterward
+// panics with a clear error instead of scheduling onto a finished engine.
+// Call it once the run has drained.
+func (n *Net) Teardown() {
+	for _, l := range n.Links {
+		l.Port.Close()
+	}
+}
 
 // AttachTracer attaches t to the whole network: to the engine(s) — whose
 // tracer the transport endpoints and samplers emit through — and to every
@@ -267,6 +473,7 @@ func newWiring(part Partition, opts *Options, legacyEng *sim.Engine) *wiring {
 		Part:      part,
 		Lookahead: part.Lookahead,
 		hostPorts: make(map[int]*device.Port),
+		linkIdx:   make(map[string]int),
 	}
 	switch {
 	case legacyEng != nil:
@@ -321,6 +528,26 @@ func (w *wiring) port(srcDom, dstDom int, eg *queue.Egress, rate float64, prop s
 	return pt
 }
 
+// addLink registers a transmit port in the directed link census under its
+// canonical name. swIdx is the transmitting switch's Net.Switches index
+// (-1 for a host NIC); leaf/spine are the fabric coordinates of a
+// leaf<->spine link, -1 otherwise.
+func (w *wiring) addLink(name string, pt *device.Port, dom, swIdx, leaf, spine int) {
+	if _, dup := w.net.linkIdx[name]; dup {
+		panic(fmt.Sprintf("topology: duplicate link name %q", name))
+	}
+	w.net.linkIdx[name] = len(w.net.Links)
+	w.net.Links = append(w.net.Links, Link{
+		Name:        name,
+		Port:        pt,
+		Dom:         dom,
+		SwitchIdx:   swIdx,
+		Cross:       pt.IsBoundary(),
+		FabricLeaf:  leaf,
+		FabricSpine: spine,
+	})
+}
+
 // addSwitchPort records a switch egress port and its owning domain for
 // the census and tracer attachment.
 func (w *wiring) addSwitchPort(dom int, ports ...*device.Port) {
@@ -362,6 +589,7 @@ func buildStar(n int, opts *Options, legacyEng *sim.Engine) *Net {
 	pool := newPool(opts)
 	pkts := w.pool(0)
 	net.Switches = []*device.Switch{sw}
+	net.switchDoms = []int{0}
 	for i := 0; i < n; i++ {
 		h := device.NewHost(eng, i)
 		h.Pool = pkts
@@ -370,6 +598,8 @@ func buildStar(n int, opts *Options, legacyEng *sim.Engine) *Net {
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
 		w.addSwitchPort(0, down)
+		w.addLink(fmt.Sprintf("host%d-sw0", i), h.NIC, 0, -1, -1, -1)
+		w.addLink(fmt.Sprintf("sw0-host%d", i), down, 0, 0, -1, -1)
 		net.Hosts = append(net.Hosts, h)
 	}
 	return net
@@ -411,12 +641,15 @@ func buildDumbbell(nPairs int, opts *Options, legacyEng *sim.Engine) *Net {
 	leftDom, rightDom := domOf(0), domOf(2*nPairs-1)
 	leftPool, rightPool := newPool(opts), newPool(opts)
 	net.Switches = []*device.Switch{left, right}
+	net.switchDoms = []int{leftDom, rightDom}
 
 	// The inter-switch bottleneck carries AQM in both directions.
 	l2r := w.port(leftDom, rightDom, newEgress(opts, leftPool, w.pool(leftDom)), opts.Link.RateBps, opts.FabricPropDelay, right)
 	r2l := w.port(rightDom, leftDom, newEgress(opts, rightPool, w.pool(rightDom)), opts.Link.RateBps, opts.FabricPropDelay, left)
 	w.addSwitchPort(leftDom, l2r)
 	w.addSwitchPort(rightDom, r2l)
+	w.addLink("left-right", l2r, leftDom, 0, -1, -1)
+	w.addLink("right-left", r2l, rightDom, 1, -1, -1)
 
 	for i := 0; i < 2*nPairs; i++ {
 		dom := domOf(i)
@@ -424,8 +657,10 @@ func buildDumbbell(nPairs int, opts *Options, legacyEng *sim.Engine) *Net {
 		pkts := w.pool(dom)
 		h := device.NewHost(eng, i)
 		sw, pool, swDom := left, leftPool, leftDom
+		swName, swIdx := "left", 0
 		if i >= nPairs {
 			sw, pool, swDom = right, rightPool, rightDom
+			swName, swIdx = "right", 1
 		}
 		h.Pool = pkts
 		h.NIC = device.NewPort(eng, newHostEgress(opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
@@ -433,6 +668,8 @@ func buildDumbbell(nPairs int, opts *Options, legacyEng *sim.Engine) *Net {
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
 		w.addSwitchPort(swDom, down)
+		w.addLink(fmt.Sprintf("host%d-%s", i, swName), h.NIC, dom, -1, -1, -1)
+		w.addLink(fmt.Sprintf("%s-host%d", swName, i), down, swDom, swIdx, -1, -1)
 		net.Hosts = append(net.Hosts, h)
 	}
 	// Cross routes traverse the bottleneck.
@@ -491,12 +728,22 @@ func buildLeafSpine(spines, leaves, hostsPerLeaf int, opts *Options, legacyEng *
 	spineSw := make([]*device.Switch, spines)
 	spinePools := make([]*queue.SharedPool, spines)
 	spineRoutes := make([]*spineRouter, spines)
+	fab := &fabricInfo{
+		spines:       spines,
+		leaves:       leaves,
+		hostsPerLeaf: hostsPerLeaf,
+		leafSw:       make([]int, leaves),
+		spineSw:      make([]int, spines),
+		sharded:      sharded,
+	}
 	for s := range spineSw {
 		spineSw[s] = device.NewSwitch(w.engine(sdom(s)), fmt.Sprintf("spine%d", s))
 		spinePools[s] = newPool(opts)
-		spineRoutes[s] = &spineRouter{hostsPerLeaf: hostsPerLeaf, down: make([]*device.Port, leaves)}
+		spineRoutes[s] = &spineRouter{hostsPerLeaf: hostsPerLeaf, self: s, down: make([]*device.Port, leaves)}
 		spineSw[s].SetRouter(spineRoutes[s])
+		fab.spineSw[s] = len(net.Switches)
 		net.Switches = append(net.Switches, spineSw[s])
+		net.switchDoms = append(net.switchDoms, sdom(s))
 	}
 	leafSw := make([]*device.Switch, leaves)
 	leafPools := make([]*queue.SharedPool, leaves)
@@ -504,10 +751,15 @@ func buildLeafSpine(spines, leaves, hostsPerLeaf int, opts *Options, legacyEng *
 	for l := range leafSw {
 		leafSw[l] = device.NewSwitch(w.engine(ldom(l)), fmt.Sprintf("leaf%d", l))
 		leafPools[l] = newPool(opts)
-		leafRoutes[l] = &leafRouter{base: l * hostsPerLeaf, local: make([]*device.Port, hostsPerLeaf)}
+		leafRoutes[l] = &leafRouter{base: l * hostsPerLeaf, self: l, local: make([]*device.Port, hostsPerLeaf)}
 		leafSw[l].SetRouter(leafRoutes[l])
+		fab.leafSw[l] = len(net.Switches)
 		net.Switches = append(net.Switches, leafSw[l])
+		net.switchDoms = append(net.switchDoms, ldom(l))
 	}
+	fab.leafRouters = leafRoutes
+	fab.spineRouters = spineRoutes
+	net.fabric = fab
 
 	// Hosts and access links.
 	for l := 0; l < leaves; l++ {
@@ -523,6 +775,8 @@ func buildLeafSpine(spines, leaves, hostsPerLeaf int, opts *Options, legacyEng *
 			leafRoutes[l].local[k] = down
 			net.hostPorts[id] = down
 			w.addSwitchPort(dom, down)
+			w.addLink(fmt.Sprintf("host%d-leaf%d", id, l), h.NIC, dom, -1, -1, -1)
+			w.addLink(fmt.Sprintf("leaf%d-host%d", l, id), down, dom, fab.leafSw[l], -1, -1)
 			net.Hosts = append(net.Hosts, h)
 		}
 	}
@@ -536,6 +790,8 @@ func buildLeafSpine(spines, leaves, hostsPerLeaf int, opts *Options, legacyEng *
 			down := w.port(sdom(s), ldom(l), newEgress(opts, spinePools[s], w.pool(sdom(s))), opts.Link.RateBps, opts.FabricPropDelay, leafSw[l])
 			w.addSwitchPort(ldom(l), up)
 			w.addSwitchPort(sdom(s), down)
+			w.addLink(fmt.Sprintf("leaf%d-spine%d", l, s), up, ldom(l), fab.leafSw[l], l, s)
+			w.addLink(fmt.Sprintf("spine%d-leaf%d", s, l), down, sdom(s), fab.spineSw[s], l, s)
 			leafRoutes[l].up = append(leafRoutes[l].up, up)
 			spineRoutes[s].down[l] = down
 		}

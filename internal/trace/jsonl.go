@@ -109,6 +109,30 @@ func appendEventJSON(b []byte, e Event) []byte {
 		b = appendIntField(b, "dst", int64(e.Dst))
 		b = appendIntField(b, "size", e.Size)
 		b = appendIntField(b, "fct", e.Dur)
+	case LinkFault:
+		b = append(b, `,"action":"`...)
+		b = append(b, e.Fault.String()...)
+		b = append(b, '"')
+		if e.Port >= 0 {
+			b = appendIntField(b, "link", int64(e.Port))
+		}
+		if e.Src >= 0 {
+			b = appendIntField(b, "switch", int64(e.Src))
+		}
+		b = appendIntField(b, "epoch", e.Seq)
+		if e.Fault == FaultDegrade {
+			b = appendFloatField(b, "rate", e.Value)
+			b = appendIntField(b, "prop", e.Dur)
+		}
+	case Reroute:
+		b = appendIntField(b, "dom", int64(e.Src))
+		b = appendIntField(b, "epoch", e.Seq)
+	case FlowFail:
+		b = appendIntField(b, "flow", int64(e.FlowID))
+		b = appendIntField(b, "src", int64(e.Src))
+		b = appendIntField(b, "dst", int64(e.Dst))
+		b = appendIntField(b, "size", e.Size)
+		b = appendIntField(b, "elapsed", e.Dur)
 	}
 	return append(b, '}')
 }
@@ -165,6 +189,8 @@ func (c *CSVWriter) Trace(e Event) {
 	b = append(b, ',')
 	if e.Type == ECNMark {
 		b = append(b, e.Mark.String()...)
+	} else if e.Type == LinkFault {
+		b = append(b, e.Fault.String()...)
 	}
 	b = append(b, ',')
 	b = strconv.AppendInt(b, e.At, 10)
@@ -173,19 +199,23 @@ func (c *CSVWriter) Trace(e Event) {
 	b = csvOptInt(b, int64(e.FlowID), e.FlowID != 0)
 	b = csvOptInt(b, int64(e.Src), e.Src >= 0)
 	b = csvOptInt(b, int64(e.Dst), e.Dst >= 0)
+	// LinkFault and Reroute reuse the seq column for the routing epoch.
 	hasSeq := e.Type == Enqueue || e.Type == Dequeue || e.Type == Drop ||
-		e.Type == ECNMark || e.Type == ECNEcho
+		e.Type == ECNMark || e.Type == ECNEcho || e.Type == LinkFault ||
+		e.Type == Reroute
 	b = csvOptInt(b, e.Seq, hasSeq)
 	b = csvOptInt(b, e.Size, e.Size != 0)
 	hasDur := e.Type == Dequeue || e.Type == ECNMark || e.Type == SojournSample ||
-		e.Type == FlowFinish
+		e.Type == FlowFinish || e.Type == FlowFail ||
+		(e.Type == LinkFault && e.Fault == FaultDegrade)
 	b = csvOptInt(b, e.Dur, hasDur)
 	hasQ := e.Type == Enqueue || e.Type == Dequeue || e.Type == Drop ||
 		e.Type == ECNMark || e.Type == SojournSample
 	b = csvOptInt(b, int64(e.QueuePackets), hasQ)
 	b = csvOptInt(b, e.QueueBytes, hasQ)
 	b = append(b, ',')
-	if e.Type == CwndUpdate || e.Type == RateUpdate {
+	if e.Type == CwndUpdate || e.Type == RateUpdate ||
+		(e.Type == LinkFault && e.Fault == FaultDegrade) {
 		b = strconv.AppendFloat(b, e.Value, 'g', -1, 64)
 	}
 	b = append(b, '\n')

@@ -58,6 +58,17 @@ const (
 	FlowStart
 	// FlowFinish records a flow completing, with its flow completion time.
 	FlowFinish
+	// LinkFault records a fault-injection transition taking effect: a link
+	// going down or up, a port degrade, or a switch failing/recovering.
+	// FaultKind (the Fault field) says which; Seq carries the transition's
+	// routing epoch.
+	LinkFault
+	// Reroute records one simulation domain re-resolving its ECMP sets
+	// after a fault transition; Src carries the domain, Seq the epoch.
+	Reroute
+	// FlowFail records a flow abandoned after RTO exhaustion (fault
+	// injection's graceful-degradation path), with its elapsed time.
+	FlowFail
 
 	numTypes
 )
@@ -77,6 +88,9 @@ var typeNames = [numTypes]string{
 	ECNEcho:       "echo",
 	FlowStart:     "flow_start",
 	FlowFinish:    "flow_finish",
+	LinkFault:     "fault",
+	Reroute:       "reroute",
+	FlowFail:      "flow_fail",
 }
 
 // String returns the wire identifier of the type ("enqueue", "mark", …).
@@ -121,6 +135,45 @@ func (k MarkKind) String() string {
 	}
 }
 
+// FaultKind classifies a LinkFault event's transition.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultNone is the zero value carried by non-fault events.
+	FaultNone FaultKind = iota
+	// FaultLinkDown: a bidirectional link went down.
+	FaultLinkDown
+	// FaultLinkUp: a downed link came back.
+	FaultLinkUp
+	// FaultDegrade: a directed port changed rate and/or propagation delay.
+	FaultDegrade
+	// FaultSwitchFail: a switch failed (blackholing all traffic through it).
+	FaultSwitchFail
+	// FaultSwitchRecover: a failed switch came back.
+	FaultSwitchRecover
+)
+
+// String returns the wire identifier of the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkDown:
+		return "link_down"
+	case FaultLinkUp:
+		return "link_up"
+	case FaultDegrade:
+		return "degrade"
+	case FaultSwitchFail:
+		return "switch_fail"
+	case FaultSwitchRecover:
+		return "switch_recover"
+	case FaultNone:
+		return "none"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
 // Event is one observation. It is a flat value struct so that emission
 // never allocates and recorders can store events in preallocated arrays;
 // which fields are meaningful depends on Type (the schema per type is the
@@ -133,6 +186,12 @@ type Event struct {
 	Type Type
 	// Mark attributes an ECNMark event; MarkUnknown otherwise.
 	Mark MarkKind
+	// Fault classifies a LinkFault event; FaultNone otherwise. For
+	// LinkFault events Port is the topology link-census index (or -1 for
+	// switch transitions, whose switch index rides in Src), Seq is the
+	// routing epoch, Value the new rate and Dur the new propagation delay
+	// of a degrade. For Reroute events Src is the domain and Seq the epoch.
+	Fault FaultKind
 	// At is the simulation timestamp in nanoseconds (sim.Time).
 	At int64
 	// Port is the egress-port id assigned at tracer attach time

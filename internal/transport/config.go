@@ -32,6 +32,14 @@ type Config struct {
 	DelayedAckCount int
 	// DelayedAckTimeout bounds how long an ACK may be withheld.
 	DelayedAckTimeout sim.Time
+	// MaxConsecTimeouts, when positive, bounds consecutive retransmission
+	// timeouts: a flow whose (MaxConsecTimeouts+1)-th back-to-back RTO
+	// fires gives up and fails instead of retrying forever. Zero keeps the
+	// historical retry-forever behavior — the right choice on a healthy
+	// network, where it cannot trigger; fault-injection runs set it so a
+	// flow whose every path died terminates the run via RTO exhaustion
+	// rather than deadlocking it.
+	MaxConsecTimeouts int
 	// NewControl builds the per-flow ECN responder (DCTCP by default).
 	NewControl func() ECNControl
 	// Class is the service class stamped on the flow's packets, selecting

@@ -287,3 +287,64 @@ func TestRandomFaultsProperty(t *testing.T) {
 		run(seed)
 	}
 }
+
+// TestRTOBackoffBoundedProperty: under a randomized total-blackhole
+// window — every data packet dropped for a random interval, the severest
+// fault a link-down injects — the sender's RTO estimate stays inside
+// [MinRTO, MaxRTO] at every observation point, the backoff exponent never
+// exceeds its cap, and two identical senders ("twins", separate engines,
+// same window) recover with byte-identical retransmission and timeout
+// counts. This is the transport-layer contract the fault-injection
+// experiments lean on: recovery is deterministic and the timer can
+// neither collapse below the floor nor run away past the ceiling.
+func TestRTOBackoffBoundedProperty(t *testing.T) {
+	cfg := transport.DefaultConfig()
+	type outcome struct {
+		retransmits, timeouts int64
+		done                  bool
+	}
+	run := func(start, dur sim.Time, size int64) outcome {
+		eng := sim.NewEngine()
+		h0, h1, tap := faultPath(eng)
+		tap.Drop = func(p *packet.Packet) bool {
+			now := eng.Now()
+			return p.Kind == packet.Data && now >= start && now < start+dur
+		}
+		fl := transport.StartFlow(eng, cfg, h0, h1, 1, size, 0, nil)
+		var probe func()
+		probe = func() {
+			if rto := fl.Sender.RTO(); rto < cfg.MinRTO || rto > cfg.MaxRTO {
+				t.Fatalf("RTO %v outside [%v, %v]", rto, cfg.MinRTO, cfg.MaxRTO)
+			}
+			if b := fl.Sender.Backoff(); b > 10 {
+				t.Fatalf("backoff exponent %d above cap", b)
+			}
+			if !fl.Done {
+				eng.After(50*sim.Microsecond, probe)
+			}
+		}
+		eng.Schedule(0, probe)
+		eng.Run()
+		return outcome{fl.Sender.Stats.Retransmits, fl.Sender.Stats.Timeouts, fl.Done}
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Window opens inside the first 30 us; the smallest flow (50 MSS)
+		// needs ~60 us of wire time, so the blackhole always catches the
+		// flow mid-transfer.
+		start := sim.Time(rng.Int63n(int64(30 * sim.Microsecond)))
+		dur := sim.Time(rng.Int63n(int64(15*sim.Millisecond))) + sim.Microsecond
+		size := int64(rng.Intn(300)+50) * 1460
+		a := run(start, dur, size)
+		b := run(start, dur, size)
+		if !a.done {
+			t.Fatalf("seed %d: flow never completed after a %v blackhole", seed, dur)
+		}
+		if a != b {
+			t.Fatalf("seed %d: twin senders diverged: %+v vs %+v", seed, a, b)
+		}
+		if dur > 2*cfg.MinRTO && a.timeouts == 0 {
+			t.Fatalf("seed %d: %v blackhole caused no RTO", seed, dur)
+		}
+	}
+}

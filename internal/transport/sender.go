@@ -58,6 +58,11 @@ type Sender struct {
 	finished  bool
 	startTime sim.Time
 
+	// RTO-exhaustion state (see Config.MaxConsecTimeouts).
+	consecTO int
+	failed   bool
+	onFail   func()
+
 	onDone func(fct sim.Time)
 
 	// Stats is the sender's observability surface.
@@ -114,6 +119,20 @@ func (s *Sender) Cwnd() float64 { return s.cwnd }
 // Finished reports whether all data was acknowledged.
 func (s *Sender) Finished() bool { return s.finished }
 
+// Failed reports whether the flow gave up after exhausting its RTO budget.
+func (s *Sender) Failed() bool { return s.failed }
+
+// SetOnFail registers a callback invoked once if the flow fails by RTO
+// exhaustion. It must be set before Start.
+func (s *Sender) SetOnFail(fn func()) { s.onFail = fn }
+
+// RTO returns the current retransmission timeout (before backoff), which
+// rttSample clamps to [MinRTO, MaxRTO] — the property test's invariant.
+func (s *Sender) RTO() sim.Time { return s.rto }
+
+// Backoff returns the current exponential-backoff exponent.
+func (s *Sender) Backoff() uint { return s.backoff }
+
 // Start registers for ACKs and transmits the initial window. It must be
 // called at the flow's arrival time.
 func (s *Sender) Start() {
@@ -145,7 +164,7 @@ func (s *Sender) traceCwnd() {
 
 // HandlePacket implements device.PacketHandler for ACKs.
 func (s *Sender) HandlePacket(now sim.Time, p *packet.Packet) {
-	if p.Kind != packet.Ack || s.finished {
+	if p.Kind != packet.Ack || s.finished || s.failed {
 		return
 	}
 	s.Stats.AcksReceived++
@@ -204,6 +223,7 @@ func (s *Sender) onAck(now sim.Time, p *packet.Packet) {
 		s.sndUna = ack
 		s.dupAcks = 0
 		s.backoff = 0
+		s.consecTO = 0
 		if s.inRecovery {
 			if ack >= s.recover {
 				s.inRecovery = false
@@ -357,10 +377,15 @@ func (s *Sender) cancelRTO() {
 // the first unacked byte, and back off the timer.
 func (s *Sender) onRTO() {
 	s.rtoTimer = sim.Event{}
-	if s.finished || s.sndUna >= s.sndNxt {
+	if s.finished || s.failed || s.sndUna >= s.sndNxt {
 		return
 	}
 	s.Stats.Timeouts++
+	s.consecTO++
+	if s.cfg.MaxConsecTimeouts > 0 && s.consecTO > s.cfg.MaxConsecTimeouts {
+		s.fail(s.eng.Now())
+		return
+	}
 	s.ssthresh = s.cwnd / 2
 	if s.ssthresh < 2*float64(s.cfg.MSS) {
 		s.ssthresh = 2 * float64(s.cfg.MSS)
@@ -376,6 +401,25 @@ func (s *Sender) onRTO() {
 	}
 	s.trySend()
 	s.armRTO()
+}
+
+// fail gives the flow up: RTO exhaustion means no path to the destination
+// survived long enough to move a byte. The sender deregisters (late ACKs
+// are dropped by the host), traces a FlowFail event carrying the elapsed
+// time, and invokes the failure callback — never onDone, so FCT stats
+// only ever aggregate completed flows.
+func (s *Sender) fail(now sim.Time) {
+	s.failed = true
+	s.cancelRTO()
+	s.host.Unregister(s.flowID)
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Trace(trace.Event{Type: trace.FlowFail, At: int64(now),
+			Port: -1, Queue: -1, FlowID: s.flowID, Src: s.host.ID, Dst: s.dst,
+			Size: s.size, Dur: int64(now - s.startTime)})
+	}
+	if s.onFail != nil {
+		s.onFail()
+	}
 }
 
 func (s *Sender) finish(now sim.Time) {

@@ -34,6 +34,9 @@ type FlowTable struct {
 	FCT []sim.Time
 	// Done marks completed flows.
 	Done []bool
+	// Failed marks flows that gave up by RTO exhaustion (only possible
+	// with Config.MaxConsecTimeouts set); Done and FCT stay unset.
+	Failed []bool
 	// Query marks query (incast-style) flows for FCT bucketing.
 	Query []bool
 
@@ -52,6 +55,11 @@ type FlowTable struct {
 	// OnDone, when non-nil, runs at flow completion (after FCT/Done are
 	// recorded and any CloseOnDone close) with the flow's index.
 	OnDone func(i int)
+
+	// OnFail, when non-nil, runs when a flow gives up by RTO exhaustion
+	// (after Failed is recorded), with the flow's index. Same threading
+	// contract as OnDone: it runs on the flow's source-domain worker.
+	OnFail func(i int)
 }
 
 // NewFlowTable returns a table with capacity reserved for n flows.
@@ -64,6 +72,7 @@ func NewFlowTable(n int) *FlowTable {
 		Start:     make([]sim.Time, 0, n),
 		FCT:       make([]sim.Time, 0, n),
 		Done:      make([]bool, 0, n),
+		Failed:    make([]bool, 0, n),
 		Query:     make([]bool, 0, n),
 		Senders:   make([]*Sender, 0, n),
 		Receivers: make([]*Receiver, 0, n),
@@ -92,6 +101,7 @@ func (t *FlowTable) Launch(cfg Config, src, dst *device.Host, flowID uint64,
 	t.Start = append(t.Start, start)
 	t.FCT = append(t.FCT, 0)
 	t.Done = append(t.Done, false)
+	t.Failed = append(t.Failed, false)
 	t.Query = append(t.Query, query)
 	t.Receivers = append(t.Receivers, NewReceiver(dst.Engine(), cfg, dst, flowID, src.ID))
 	sender := NewSender(src.Engine(), cfg, src, flowID, dst.ID, size, func(fct sim.Time) {
@@ -102,6 +112,15 @@ func (t *FlowTable) Launch(cfg Config, src, dst *device.Host, flowID uint64,
 		}
 		if t.OnDone != nil {
 			t.OnDone(i)
+		}
+	})
+	sender.SetOnFail(func() {
+		t.Failed[i] = true
+		if t.CloseOnDone {
+			t.Receivers[i].Close()
+		}
+		if t.OnFail != nil {
+			t.OnFail(i)
 		}
 	})
 	t.Senders = append(t.Senders, sender)
