@@ -13,6 +13,7 @@
 //	ecnsim -seeds 1,2,3 -parallel 3   # pooled statistics over three seeds
 //	ecnsim -trace run.jsonl -trace-events mark,drop -trace-sample 10
 //	ecnsim -topo leafspine -faults flaps.json -trace churn.jsonl -trace-events fault,reroute,flow_fail
+//	ecnsim -spec sweep.json -parallel 4   # run a JSON sweep spec (same schema ecnsharpd serves)
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"ecnsharp/internal/experiments"
 	"ecnsharp/internal/fault"
 	"ecnsharp/internal/harness"
+	"ecnsharp/internal/metrics"
 	"ecnsharp/internal/rttvar"
 	"ecnsharp/internal/sim"
 	"ecnsharp/internal/topology"
@@ -59,6 +61,8 @@ func main() {
 		saveFlows  = flag.String("save-flows", "", "write the generated flows to this flow CSV")
 		faultsPath = flag.String("faults", "",
 			"inject topology faults from this JSON schedule (link flaps, switch\nfailures, degrades — see internal/fault and DESIGN.md)")
+		specPath = flag.String("spec", "",
+			"run a JSON sweep spec instead of the flag-built single config — the\nsame schema ecnsharpd accepts (see docs/API.md); ignores the scheme/\nworkload/topology flags")
 
 		traceFile = flag.String("trace", "",
 			"stream an event trace to this file (JSONL; a .csv suffix selects CSV);\nwith multiple seeds each job writes <name>.job<N><ext>  (see TRACING.md)")
@@ -67,6 +71,11 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "keep every n-th selected event (sampling stride)")
 	)
 	flag.Parse()
+
+	if *specPath != "" {
+		runSpec(*specPath, *parallel, *timeout, *progress, *traceFile)
+		return
+	}
 
 	seeds := []int64{*seed}
 	if *seedsFlag != "" {
@@ -291,4 +300,90 @@ func main() {
 func jobTracePath(path string, id int) string {
 	ext := filepath.Ext(path)
 	return fmt.Sprintf("%s.job%d%s", strings.TrimSuffix(path, ext), id, ext)
+}
+
+// runSpec executes a JSON sweep spec through the exact spec→cell→result
+// path ecnsharpd caches (experiments.Cell.Run), pools the per-seed results
+// per load point, and prints one stats block per load. When the spec
+// requests tracing and -trace names a file, each cell's captured JSONL
+// stream is written to <name>.job<N><ext>.
+func runSpec(path string, parallel int, timeout time.Duration, progress bool, traceFile string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnsim:", err)
+		os.Exit(1)
+	}
+	spec, err := experiments.ParseSweepSpec(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnsim:", err)
+		os.Exit(2)
+	}
+	cells := spec.Cells()
+	jobs := make([]harness.Job, len(cells))
+	for i, cell := range cells {
+		cell := cell
+		jobs[i] = harness.Job{
+			Label: fmt.Sprintf("%s load=%.2f seed=%d", cell.Scheme, cell.Load, cell.Seed),
+			Run:   func(ctx context.Context) (any, error) { return cell.Run(ctx) },
+		}
+	}
+	opts := harness.Options{Parallel: parallel, Timeout: timeout}
+	if progress {
+		opts.OnDone = func(p harness.Progress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n",
+				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+	res, _ := harness.Execute(context.Background(), jobs, opts)
+	results := make([]experiments.CellResult, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "ecnsim: %s: %v\n", r.Label, r.Err)
+			os.Exit(1)
+		}
+		results[i] = r.Value.(experiments.CellResult)
+	}
+
+	fmt.Printf("sweep     %s: %s/%s on %s, %d flows, RTT %vus x%v\n",
+		path, spec.Scheme, spec.Workload, spec.Topo, spec.Flows, spec.RTTMinUS, spec.RTTVariation)
+	fmt.Printf("grid      %d loads x %d seeds = %d cells\n\n", len(spec.Loads), len(spec.Seeds), len(cells))
+	for li, load := range spec.Loads {
+		pool := metrics.NewFCTCollector()
+		var merged experiments.CellResult
+		for si := range spec.Seeds {
+			r := results[li*len(spec.Seeds)+si]
+			pool.Merge(r.Collector())
+			merged.Drops += r.Drops
+			merged.Marks += r.Marks
+			merged.Timeouts += r.Timeouts
+			merged.Retransmits += r.Retransmits
+			merged.Completed += r.Completed
+			merged.Injected += r.Injected
+		}
+		s := pool.Stats()
+		fmt.Printf("load %.0f%%  completed %d/%d\n", load*100, merged.Completed, merged.Injected)
+		fmt.Printf("  FCT overall avg      %10.1f us (%d flows)\n", s.OverallAvg, s.OverallCount)
+		fmt.Printf("  FCT short (<=100KB)  %10.1f us avg, %10.1f us p99 (%d flows)\n",
+			s.ShortAvg, s.ShortP99, s.ShortCount)
+		fmt.Printf("  FCT large (>=10MB)   %10.1f us avg (%d flows)\n", s.LargeAvg, s.LargeCount)
+		fmt.Printf("  drops %d, marks %d, timeouts %d, retransmits %d\n\n",
+			merged.Drops, merged.Marks, merged.Timeouts, merged.Retransmits)
+	}
+
+	if traceFile != "" && spec.Trace != nil {
+		var paths []string
+		for i, r := range results {
+			if r.TraceJSONL == "" {
+				continue
+			}
+			p := jobTracePath(traceFile, i)
+			if err := os.WriteFile(p, []byte(r.TraceJSONL), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ecnsim: trace:", err)
+				os.Exit(1)
+			}
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		fmt.Printf("event trace: %s\n", strings.Join(paths, ", "))
+	}
 }

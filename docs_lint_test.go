@@ -15,12 +15,16 @@ import (
 )
 
 // docAuditPackages are the packages whose godoc completeness is enforced
-// (the trace subsystem and the layers it instruments).
+// (the trace subsystem and the layers it instruments, plus the service
+// surface — the daemon, its cache, and the sweep-spec layer they share).
 var docAuditPackages = []string{
 	"internal/trace",
 	"internal/queue",
 	"internal/aqm",
 	"internal/harness",
+	"internal/cache",
+	"internal/service",
+	"internal/experiments",
 }
 
 // TestExportedDocComments fails for every exported top-level identifier in

@@ -43,9 +43,18 @@ type Progress struct {
 	// Done is the number of jobs finished so far, including this one;
 	// Total is the size of the batch.
 	Done, Total int
-	Label       string
-	Elapsed     time.Duration
-	Err         error
+	// Index is the job's submission-order position in the batch — stable
+	// across parallelism levels, unlike the Done sequence.
+	Index   int
+	Label   string
+	Elapsed time.Duration
+	Err     error
+	// Value is the completed job's return value (nil when Err is
+	// non-nil). Streaming consumers — e.g. a server forwarding per-job
+	// results over a chunked response — read it here instead of waiting
+	// for the whole batch; Execute still returns the same value in the
+	// job's Result.
+	Value any
 }
 
 // Options configure one Execute call.
@@ -85,7 +94,8 @@ func Execute(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 		}
 		mu.Lock()
 		done++
-		ev := Progress{Done: done, Total: len(jobs), Label: r.Label, Elapsed: r.Elapsed, Err: r.Err}
+		ev := Progress{Done: done, Total: len(jobs), Index: i,
+			Label: r.Label, Elapsed: r.Elapsed, Err: r.Err, Value: r.Value}
 		opts.OnDone(ev)
 		mu.Unlock()
 	}

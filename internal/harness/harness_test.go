@@ -163,6 +163,33 @@ func TestExecuteProgress(t *testing.T) {
 	}
 }
 
+func TestExecuteProgressCarriesValue(t *testing.T) {
+	// Streaming consumers read each job's return value off its progress
+	// event; Index identifies the job independent of completion order.
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Label: fmt.Sprintf("job%d", i),
+			Run: func(context.Context) (any, error) { return i * 10, nil }}
+	}
+	seen := make([]any, len(jobs))
+	res, err := Execute(context.Background(), jobs, Options{
+		Parallel: 3,
+		OnDone:   func(p Progress) { seen[p.Index] = p.Value }, // serialized by the pool
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if seen[i] != i*10 {
+			t.Errorf("job %d: progress value %v, want %d", i, seen[i], i*10)
+		}
+		if res[i].Value != seen[i] {
+			t.Errorf("job %d: progress value %v != result value %v", i, seen[i], res[i].Value)
+		}
+	}
+}
+
 func TestExecuteDefaultParallelism(t *testing.T) {
 	// Parallel 0 must still run every job exactly once.
 	var ran atomic.Int32

@@ -17,11 +17,13 @@ const (
 	LargeFlowMin = 10 * 1000 * 1000 // large flows: [10MB, ∞)
 )
 
-// FCTRecord is one completed flow.
+// FCTRecord is one completed flow. The JSON field names are part of the
+// cached-result schema served by ecnsharpd (see docs/API.md): sizes in
+// bytes, completion times in simulated nanoseconds.
 type FCTRecord struct {
-	Size  int64
-	FCT   sim.Time
-	Query bool
+	Size  int64    `json:"size"`
+	FCT   sim.Time `json:"fct_ns"`
+	Query bool     `json:"query,omitempty"`
 }
 
 // FCTCollector accumulates flow completion times.
@@ -31,6 +33,14 @@ type FCTCollector struct {
 
 // NewFCTCollector returns an empty collector.
 func NewFCTCollector() *FCTCollector { return &FCTCollector{} }
+
+// CollectorFromRecords rebuilds a collector around an existing record set,
+// copying the slice — the way cached results decoded from disk re-enter
+// the metrics pipeline (e.g. to pool statistics across cache hits exactly
+// like freshly computed runs).
+func CollectorFromRecords(recs []FCTRecord) *FCTCollector {
+	return &FCTCollector{records: append([]FCTRecord(nil), recs...)}
+}
 
 // Record adds one completed flow.
 func (c *FCTCollector) Record(size int64, fct sim.Time, query bool) {
@@ -66,19 +76,20 @@ func (c *FCTCollector) filter(pred func(FCTRecord) bool) []float64 {
 }
 
 // FCTStats is the per-class breakdown the paper's figures plot.
-// All values are microseconds.
+// All values are microseconds. The JSON field names are part of the
+// ecnsharpd result schema (docs/API.md).
 type FCTStats struct {
-	OverallAvg float64
-	ShortAvg   float64
-	ShortP99   float64
-	LargeAvg   float64
-	QueryAvg   float64
-	QueryP99   float64
+	OverallAvg float64 `json:"overall_avg_us"`
+	ShortAvg   float64 `json:"short_avg_us"`
+	ShortP99   float64 `json:"short_p99_us"`
+	LargeAvg   float64 `json:"large_avg_us"`
+	QueryAvg   float64 `json:"query_avg_us"`
+	QueryP99   float64 `json:"query_p99_us"`
 
-	OverallCount int
-	ShortCount   int
-	LargeCount   int
-	QueryCount   int
+	OverallCount int `json:"overall_count"`
+	ShortCount   int `json:"short_count"`
+	LargeCount   int `json:"large_count"`
+	QueryCount   int `json:"query_count"`
 }
 
 // Stats computes the breakdown. Query flows are excluded from the

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ecnsharp/internal/cache"
+)
+
+// apiDocPath locates docs/API.md relative to this package.
+const apiDocPath = "../../docs/API.md"
+
+// endpointHeading matches the per-endpoint headings API.md uses:
+// ### `METHOD /path`
+var endpointHeading = regexp.MustCompile("(?m)^### `([A-Z]+) (/[^`]*)`")
+
+// TestAPIDocCoversEveryRoute diffs the daemon's registered route table
+// against docs/API.md in both directions: every route must have an
+// endpoint heading, and every endpoint heading must correspond to a
+// registered route. Adding a route without documenting it (or vice
+// versa) fails here.
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	doc, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document the API: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range endpointHeading.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	registered := map[string]bool{}
+	for _, r := range Routes() {
+		registered[r.Method+" "+r.Pattern] = true
+	}
+	for route := range registered {
+		if !documented[route] {
+			t.Errorf("route %q is registered but has no `### `%s`` heading in docs/API.md", route, route)
+		}
+	}
+	for route := range documented {
+		if !registered[route] {
+			t.Errorf("docs/API.md documents %q but the daemon does not register it", route)
+		}
+	}
+	if len(registered) != len(Routes()) {
+		t.Fatalf("duplicate entries in Routes()")
+	}
+}
+
+// TestAPIDocCoversEveryErrorCode checks that each error code the daemon
+// can return appears in API.md's error-code table.
+func TestAPIDocCoversEveryErrorCode(t *testing.T) {
+	doc, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	for _, code := range []string{
+		errBadRequest, errSpecInvalid, errNotFound, errNotFinished, errBodyTooLarge,
+	} {
+		if !strings.Contains(string(doc), fmt.Sprintf("`%s`", code)) {
+			t.Errorf("error code %q is not documented in docs/API.md", code)
+		}
+	}
+}
+
+// newResolvedServer builds a Server (not listening) for mux inspection.
+func newResolvedServer(t *testing.T) *Server {
+	t.Helper()
+	store, err := cache.Open(t.TempDir(), cache.Options{})
+	if err != nil {
+		t.Fatalf("open cache: %v", err)
+	}
+	srv, err := New(Config{Store: store})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// newRequest builds a resolution-only request for mux.Handler.
+func newRequest(t *testing.T, method, path string) *http.Request {
+	t.Helper()
+	return httptest.NewRequest(method, "http://ecnsharpd.test"+path, nil)
+}
+
+// TestRoutesMatchMuxRegistrations walks the route table and checks the
+// mux actually serves each pattern (no 404/405 from a stale table). It
+// uses the ServeMux handler-resolution API, so no requests are executed.
+func TestRoutesMatchMuxRegistrations(t *testing.T) {
+	srv := newResolvedServer(t)
+	for _, r := range Routes() {
+		path := r.Pattern
+		path = strings.ReplaceAll(path, "{id}", "sw-1")
+		path = strings.ReplaceAll(path, "{index}", "0")
+		req := newRequest(t, r.Method, path)
+		h, pattern := srv.mux.Handler(req)
+		if h == nil || pattern == "" {
+			t.Errorf("%s %s: no handler registered", r.Method, r.Pattern)
+			continue
+		}
+		if want := r.Method + " " + r.Pattern; pattern != want {
+			t.Errorf("%s resolves to pattern %q, want %q", path, pattern, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import "bytes"
+
+// Capture buffers a JSONL-encoded event stream in memory. It is the
+// cache-safe alternative to streaming a JSONLWriter straight to a file:
+// the whole trace of a run is collected as one byte slice, which a result
+// cache can store and replay verbatim — byte-identical to what the writer
+// would have put on disk, because it *is* the same writer over a buffer.
+//
+// A Capture is single-run, single-goroutine state, like every Tracer: do
+// not share one across concurrent simulations.
+type Capture struct {
+	buf bytes.Buffer
+	w   *JSONLWriter
+}
+
+// NewCapture returns an empty in-memory JSONL capture.
+func NewCapture() *Capture {
+	c := &Capture{}
+	c.w = NewJSONLWriter(&c.buf)
+	return c
+}
+
+// Trace encodes the event into the in-memory buffer.
+func (c *Capture) Trace(e Event) { c.w.Trace(e) }
+
+// Bytes flushes the encoder and returns the captured JSONL stream. The
+// returned slice aliases the internal buffer; callers that keep it beyond
+// the Capture's lifetime should copy. The error is the writer's first
+// sticky error (always nil for the in-memory buffer, kept for symmetry
+// with file-backed writers).
+func (c *Capture) Bytes() ([]byte, error) {
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	return c.buf.Bytes(), nil
+}
+
+var _ Tracer = (*Capture)(nil)
