@@ -10,9 +10,11 @@ import (
 // TestAnalyzers builds the ecnlint multichecker and runs it over the whole
 // tree via the go vet -vettool protocol, asserting the repository stays
 // clean under its own determinism analyzers (wallclock, globalrand,
-// maporder, simtime). Every deliberate exception must carry a
-// //lint:allow annotation, so a nonzero exit here means either a new
-// violation or an annotation that lost its reason.
+// maporder, simtime, shardsafe, poolown, lockguard). Every deliberate
+// exception must carry a //lint:allow annotation with a reason, stale
+// annotations are themselves diagnostics, so a nonzero exit here means a
+// new violation, an annotation that lost its reason, or one that
+// outlived the code it excused.
 func TestAnalyzers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping whole-tree analysis in -short mode")

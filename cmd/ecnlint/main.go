@@ -1,24 +1,40 @@
 // Command ecnlint runs the repository's determinism analyzers (wallclock,
-// globalrand, maporder, simtime — see internal/analysis) over Go
-// packages.
+// globalrand, maporder, simtime, shardsafe, poolown, lockguard — see
+// internal/analysis) over Go packages.
 //
 // It supports both invocation styles:
 //
 //	go run ./cmd/ecnlint ./...        # direct: lint package patterns
+//	go run ./cmd/ecnlint -json ./...  # machine-readable diagnostics
 //	go vet -vettool=$(which ecnlint) ./...
 //
 // In direct mode the binary re-executes itself through `go vet -vettool`,
 // which delegates package loading, export data and caching to the go
 // command — so the two styles always agree. When invoked by go vet (the
 // arguments carry a *.cfg unit file, or the -V/-flags protocol queries)
-// it behaves as a standard unitchecker-based vet tool. The process exits
-// non-zero if any analyzer reports a diagnostic.
+// it behaves as a standard unitchecker-based vet tool.
+//
+// Direct-mode exit codes distinguish outcomes for CI:
+//
+//	0  no violations
+//	1  one or more analyzer diagnostics
+//	2  driver error (unloadable pattern, compile error, bad flag)
+//
+// With -json, diagnostics are printed to stdout as a JSON array of
+// objects with fields "file", "line", "col", "analyzer", "message",
+// sorted by position; a clean run prints []. Without -json they are
+// printed to stderr as "file:line:col: analyzer: message" lines.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -26,31 +42,188 @@ import (
 	lint "ecnsharp/internal/analysis"
 )
 
+// Direct-mode exit codes. CI keys off the 1-vs-2 distinction: 1 means
+// the tree has lint violations, 2 means the lint run itself is broken.
+const (
+	exitClean      = 0
+	exitViolations = 1
+	exitDriver     = 2
+)
+
+// Diagnostic is one finding in -json output.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	args := os.Args[1:]
 	if vetProtocol(args) {
 		unitchecker.Main(lint.Analyzers()...) // never returns
 	}
+	os.Exit(runDirect(args, os.Stdout, os.Stderr))
+}
 
-	if len(args) == 0 {
-		args = []string{"./..."}
+// runDirect handles a direct command-line invocation and returns the
+// process exit code.
+func runDirect(args []string, stdout, stderr io.Writer) int {
+	jsonOut := false
+	rest := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		rest = append(rest, a)
 	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ecnlint: cannot locate own binary: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ecnlint: cannot locate own binary: %v\n", err)
+		return exitDriver
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Stdin = os.Stdin
+
+	// Always drive go vet in -json mode: unitchecker then exits 0 even
+	// with findings, so a nonzero status from go vet can only mean a
+	// driver error (bad pattern, compile failure) — exactly the 1-vs-2
+	// split the exit codes promise.
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe, "-json"}, rest...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
 	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
-		}
-		fmt.Fprintf(os.Stderr, "ecnlint: %v\n", err)
-		os.Exit(1)
+		stderr.Write(out.Bytes())
+		fmt.Fprintf(stderr, "ecnlint: driver error: %v\n", err)
+		return exitDriver
 	}
+
+	diags, errs := parseVetJSON(out.String())
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(stderr, "ecnlint: %s\n", e)
+		}
+		return exitDriver
+	}
+
+	if jsonOut {
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "ecnlint: %v\n", err)
+			return exitDriver
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return exitViolations
+	}
+	return exitClean
+}
+
+// parseVetJSON decodes the stream go vet -json emits: `# package` comment
+// lines interleaved with one pretty-printed JSON object per package,
+// each mapping package ID -> analyzer name -> diagnostic list (or an
+// {"error": ...} object when an analyzer failed). Both return slices are
+// sorted: the JSON trees iterate as Go maps, so without it the output
+// order would vary run to run.
+func parseVetJSON(output string) (diags []Diagnostic, errs []string) {
+	var jsonOnly strings.Builder
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonOnly.WriteString(line)
+		jsonOnly.WriteByte('\n')
+	}
+	dec := json.NewDecoder(strings.NewReader(jsonOnly.String()))
+	for {
+		var tree map[string]map[string]json.RawMessage
+		if err := dec.Decode(&tree); err == io.EOF {
+			break
+		} else if err != nil {
+			errs = append(errs, fmt.Sprintf("cannot decode go vet -json output: %v", err))
+			break
+		}
+		for _, byAnalyzer := range tree {
+			for analyzer, raw := range byAnalyzer {
+				var entries []struct {
+					Posn    string `json:"posn"`
+					Message string `json:"message"`
+				}
+				if err := json.Unmarshal(raw, &entries); err == nil {
+					for _, e := range entries {
+						file, line, col := splitPosn(e.Posn)
+						diags = append(diags, Diagnostic{
+							File:     file,
+							Line:     line,
+							Col:      col,
+							Analyzer: analyzer,
+							Message:  e.Message,
+						})
+					}
+					continue
+				}
+				var failure struct {
+					Err string `json:"error"`
+				}
+				if err := json.Unmarshal(raw, &failure); err == nil && failure.Err != "" {
+					errs = append(errs, fmt.Sprintf("analyzer %s failed: %s", analyzer, failure.Err))
+					continue
+				}
+				errs = append(errs, fmt.Sprintf("unrecognized go vet -json entry for analyzer %s", analyzer))
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	sort.Strings(errs)
+	return diags, errs
+}
+
+// splitPosn parses "file:line:col"; the file part may itself contain
+// colons, so the split works from the right.
+func splitPosn(posn string) (file string, line, col int) {
+	file = posn
+	i := strings.LastIndexByte(posn, ':')
+	if i < 0 {
+		return file, 0, 0
+	}
+	j := strings.LastIndexByte(posn[:i], ':')
+	if j < 0 {
+		return file, 0, 0
+	}
+	line, err1 := strconv.Atoi(posn[j+1 : i])
+	col, err2 := strconv.Atoi(posn[i+1:])
+	if err1 != nil || err2 != nil {
+		return posn, 0, 0
+	}
+	return posn[:j], line, col
 }
 
 // vetProtocol reports whether the arguments are a go vet driver

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSplitPosn(t *testing.T) {
+	cases := []struct {
+		posn string
+		file string
+		line int
+		col  int
+	}{
+		{"/tmp/x/main.go:6:2", "/tmp/x/main.go", 6, 2},
+		{"rel/path.go:10:40", "rel/path.go", 10, 40},
+		{"odd:name.go:3:1", "odd:name.go", 3, 1},
+		{"nocolons", "nocolons", 0, 0},
+		{"one:colon", "one:colon", 0, 0},
+		{"bad:line:col", "bad:line:col", 0, 0},
+	}
+	for _, c := range cases {
+		file, line, col := splitPosn(c.posn)
+		if file != c.file || line != c.line || col != c.col {
+			t.Errorf("splitPosn(%q) = %q,%d,%d; want %q,%d,%d",
+				c.posn, file, line, col, c.file, c.line, c.col)
+		}
+	}
+}
+
+func TestParseVetJSON(t *testing.T) {
+	stream := `# example.com/a
+# [example.com/a]
+{
+	"example.com/a": {
+		"wallclock": [
+			{
+				"posn": "/src/a/a.go:6:2",
+				"message": "time.Sleep reads the wall clock"
+			}
+		]
+	}
+}
+# example.com/b
+{
+	"example.com/b": {
+		"poolown": [
+			{
+				"posn": "/src/b/b.go:12:9",
+				"message": "pooled packet leaks"
+			},
+			{
+				"posn": "/src/b/b.go:20:1",
+				"message": "double Put"
+			}
+		]
+	}
+}
+`
+	diags, errs := parseVetJSON(stream)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %+v", len(diags), diags)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if d.File == "" || d.Line == 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+	}
+	if byAnalyzer["wallclock"] != 1 || byAnalyzer["poolown"] != 2 {
+		t.Errorf("wrong analyzer attribution: %v", byAnalyzer)
+	}
+
+	_, errs = parseVetJSON(`{"pkg": {"simtime": {"error": "internal failure"}}}`)
+	if len(errs) != 1 || !strings.Contains(errs[0], "internal failure") {
+		t.Errorf("analyzer failure not surfaced as driver error: %v", errs)
+	}
+}
+
+// buildLintBinary compiles ecnlint once for the integration tests.
+func buildLintBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ecnlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ecnlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a scratch module and returns its directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runIn executes the command in dir and returns its exit code plus
+// combined output. Scratch modules have no dependencies, so GOFLAGS
+// (e.g. -mod=vendor inherited from the repo) must not leak in.
+func runIn(t *testing.T, dir string, name string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+	}
+	return cmd.ProcessState.ExitCode(), string(out)
+}
+
+// TestExitCodes pins the direct-mode contract (0 clean, 1 violations,
+// 2 driver error) and the go vet -vettool conventions the README
+// documents.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary build in -short mode")
+	}
+	bin := buildLintBinary(t)
+
+	clean := writeModule(t, map[string]string{
+		"go.mod":  "module cleanmod\n\ngo 1.24\n",
+		"main.go": "package main\n\nfunc main() {}\n",
+	})
+	dirty := writeModule(t, map[string]string{
+		"go.mod": "module dirtymod\n\ngo 1.24\n",
+		"main.go": `package main
+
+import "time"
+
+func main() {
+	time.Sleep(time.Second)
+}
+`,
+	})
+	broken := writeModule(t, map[string]string{
+		"go.mod":  "module brokenmod\n\ngo 1.24\n",
+		"main.go": "package main\n\nfunc main() { undefined() }\n",
+	})
+
+	if code, out := runIn(t, clean, bin, "./..."); code != exitClean {
+		t.Errorf("clean module: exit %d, want %d\n%s", code, exitClean, out)
+	}
+	if code, out := runIn(t, clean, bin, "-json", "./..."); code != exitClean || strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean module -json: exit %d output %q, want %d and []", code, out, exitClean)
+	}
+
+	code, out := runIn(t, dirty, bin, "./...")
+	if code != exitViolations {
+		t.Errorf("dirty module: exit %d, want %d\n%s", code, exitViolations, out)
+	}
+	if !strings.Contains(out, "wallclock") || !strings.Contains(out, "main.go:6:2") {
+		t.Errorf("dirty module: plain output missing analyzer/position:\n%s", out)
+	}
+
+	code, out = runIn(t, dirty, bin, "-json", "./...")
+	if code != exitViolations {
+		t.Errorf("dirty module -json: exit %d, want %d\n%s", code, exitViolations, out)
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("dirty module -json: output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "wallclock" || diags[0].Line != 6 ||
+		!strings.HasSuffix(diags[0].File, "main.go") || diags[0].Message == "" {
+		t.Errorf("dirty module -json: unexpected diagnostics %+v", diags)
+	}
+
+	if code, out := runIn(t, broken, bin, "./..."); code != exitDriver {
+		t.Errorf("broken module: exit %d, want %d\n%s", code, exitDriver, out)
+	}
+	if code, out := runIn(t, broken, bin, "-json", "./..."); code != exitDriver {
+		t.Errorf("broken module -json: exit %d, want %d\n%s", code, exitDriver, out)
+	}
+
+	// The raw vettool conventions the direct mode is built on: plain
+	// go vet exits 1 on findings, while -json moves findings to the
+	// stream and exits 0 — which is why direct mode can translate a
+	// nonzero internal status straight to "driver error".
+	if code, out := runIn(t, dirty, "go", "vet", "-vettool="+bin, "./..."); code != 1 {
+		t.Errorf("go vet (plain, findings): exit %d, want 1\n%s", code, out)
+	}
+	if code, out := runIn(t, dirty, "go", "vet", "-vettool="+bin, "-json", "./..."); code != 0 ||
+		!strings.Contains(out, `"wallclock"`) {
+		t.Errorf("go vet (-json, findings): exit %d, want 0 with findings in stream\n%s", code, out)
+	}
+	if code, _ := runIn(t, clean, "go", "vet", "-vettool="+bin, "./..."); code != 0 {
+		t.Errorf("go vet (plain, clean): exit %d, want 0", code)
+	}
+}

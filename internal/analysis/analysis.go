@@ -1,29 +1,45 @@
 // Package analysis assembles ecnlint, the static-analysis suite that
-// turns the simulator's determinism conventions into checked rules.
+// turns the simulator's determinism and ownership conventions into
+// checked rules.
 //
 // Every quantitative claim this repository reproduces rests on the
 // simulation being a deterministic discrete-event system: the harness
 // promises byte-identical experiment tables at any worker-pool width, and
 // the trace layer promises byte-deterministic JSONL/CSV golden files. The
-// four analyzers each close one hole through which host-dependent state
-// could leak into that contract:
+// seven analyzers each close one hole through which host-dependent state,
+// interleaving dependence, or run-time-only failure could leak into that
+// contract:
 //
 //	wallclock  — no time.Now/Since/Sleep outside annotated harness code
 //	globalrand — no math/rand global-source draws; seeded *rand.Rand only
 //	maporder   — no map-iteration order reaching an output sink unsorted
 //	simtime    — no raw literals or bare casts in sim.Time unit math
+//	shardsafe  — no shared mutable state or cross-domain Engine access in
+//	             ShardedEngine worker-reachable code; Handoff.Send only
+//	poolown    — every Pool.Get/AllocPacket reaches Put/send/handoff on
+//	             all paths; no use-after-Put or double Put
+//	lockguard  — no blocking ops (HTTP writes, channel ops, Cell.Run)
+//	             while a service/cache mutex is held; no value-receiver
+//	             methods on lock-holding types
 //
 // The suite runs three ways: `go run ./cmd/ecnlint ./...` during
 // development, `go vet -vettool=$(ecnlint)` in CI, and the TestAnalyzers
 // driver at the repository root so plain `go test ./...` enforces it.
-// See DESIGN.md ("Determinism invariants") for the rationale per rule.
+// Suppressions use "//lint:allow <name> -- <reason>" comments (package
+// lintallow); an annotation that stops suppressing anything is itself
+// reported as stale. See DESIGN.md ("Determinism invariants") for the
+// rationale per rule, and ESCAPES_baseline.json for the companion
+// escape-analysis gate that pins the hot paths' zero-alloc property.
 package analysis
 
 import (
 	goanalysis "golang.org/x/tools/go/analysis"
 
 	"ecnsharp/internal/analysis/globalrand"
+	"ecnsharp/internal/analysis/lockguard"
 	"ecnsharp/internal/analysis/maporder"
+	"ecnsharp/internal/analysis/poolown"
+	"ecnsharp/internal/analysis/shardsafe"
 	"ecnsharp/internal/analysis/simtime"
 	"ecnsharp/internal/analysis/wallclock"
 )
@@ -35,5 +51,8 @@ func Analyzers() []*goanalysis.Analyzer {
 		globalrand.Analyzer,
 		maporder.Analyzer,
 		simtime.Analyzer,
+		shardsafe.Analyzer,
+		poolown.Analyzer,
+		lockguard.Analyzer,
 	}
 }

@@ -187,6 +187,13 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File,
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// An expectation may trail another annotation in the same
+				// comment ("//lint:allow foo -- r // want `stale`"), which
+				// the stale-suppression fixtures need: the lint:allow must
+				// come first so the analyzer under test sees it.
+				if i := strings.Index(text, "// want "); !strings.HasPrefix(text, "want ") && i >= 0 {
+					text = text[i+len("// "):]
+				}
 				if !strings.HasPrefix(text, "want ") {
 					continue
 				}

@@ -1,0 +1,129 @@
+package escapegate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBuildOutput(t *testing.T) {
+	out := `# ecnsharp/internal/sim
+internal/sim/sim.go:235:34: ... argument does not escape
+internal/sim/sim.go:235:35: e.t escapes to heap
+internal/sim/sim.go:170:6: can inline (*Engine).release
+internal/queue/fifo.go:60:13: make([]*packet.Packet, 2 * len(f.buf)) escapes to heap
+internal/sim/shard.go:120:9: moved to heap: barrier
+not a diagnostic line
+`
+	escapes := ParseBuildOutput(out)
+	if len(escapes) != 3 {
+		t.Fatalf("got %d escapes, want 3: %+v", len(escapes), escapes)
+	}
+	if escapes[0].File != "internal/sim/sim.go" || escapes[0].Line != 235 {
+		t.Errorf("bad first escape: %+v", escapes[0])
+	}
+	if !strings.Contains(escapes[2].Msg, "moved to heap") {
+		t.Errorf("moved-to-heap diagnostic dropped: %+v", escapes[2])
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	dir := t.TempDir()
+	src := `package probe
+
+type T struct{}
+
+var x = alloc()
+
+func alloc() *T { return &T{} }
+
+func (t *T) Grow() *T { return &T{} }
+`
+	sub := filepath.Join(dir, "internal", "probe")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Attribute(dir, []Escape{
+		{File: "internal/probe/p.go", Line: 7, Msg: "&T{} escapes to heap"},
+		{File: "internal/probe/p.go", Line: 9, Msg: "&T{} escapes to heap"},
+		{File: "internal/probe/p.go", Line: 5, Msg: "alloc() escapes to heap"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"internal/probe.alloc":     "&T{} escapes to heap",
+		"internal/probe.(*T).Grow": "&T{} escapes to heap",
+		"internal/probe.<init>":    "alloc() escapes to heap",
+	}
+	for fn, msg := range want {
+		if len(got[fn]) != 1 || got[fn][0] != msg {
+			t.Errorf("attribution for %s = %v, want [%s]", fn, got[fn], msg)
+		}
+	}
+}
+
+func TestCheckMultiset(t *testing.T) {
+	b := &Baseline{
+		Version: 1,
+		Functions: map[string][]string{
+			"internal/sim.(*Engine).push": {"msg escapes to heap"},
+			"internal/queue.(*FIFO).Pop":  {},
+		},
+	}
+	// Within budget: one recorded escape observed once, and an escape
+	// that disappeared entirely.
+	if v := Check(b, map[string][]string{
+		"internal/sim.(*Engine).push": {"msg escapes to heap"},
+	}); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+	// A second occurrence of a known message is a new escape.
+	if v := Check(b, map[string][]string{
+		"internal/sim.(*Engine).push": {"msg escapes to heap", "msg escapes to heap"},
+	}); len(v) != 1 || !strings.Contains(v[0], "new heap escape") {
+		t.Errorf("duplicate escape not flagged: %v", v)
+	}
+	// Escapes in non-designated functions are ignored.
+	if v := Check(b, map[string][]string{
+		"internal/sim.(*Engine).Step": {"other escapes to heap"},
+	}); len(v) != 0 {
+		t.Errorf("non-designated function gated: %v", v)
+	}
+	// An escape appearing in a designated zero-escape function fails.
+	if v := Check(b, map[string][]string{
+		"internal/queue.(*FIFO).Pop": {"qi escapes to heap"},
+	}); len(v) != 1 {
+		t.Errorf("zero-escape function not gated: %v", v)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	b := &Baseline{
+		Version:   1,
+		Packages:  []string{"./internal/sim/"},
+		Functions: map[string][]string{"internal/sim.(*Engine).push": {"b", "a"}},
+	}
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := got.Functions["internal/sim.(*Engine).push"]
+	if len(msgs) != 2 || msgs[0] != "a" || msgs[1] != "b" {
+		t.Errorf("round trip lost sorting: %v", msgs)
+	}
+	if err := os.WriteFile(path, []byte(`{"version": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("version 2 baseline loaded without error")
+	}
+}

@@ -45,6 +45,8 @@ var Analyzer = &analysis.Analyzer{
 	Run:      run,
 }
 
+func init() { lintallow.RegisterKnown(name) }
+
 func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	allow := lintallow.NewIndex(pass.Fset, pass.Files)
@@ -73,5 +75,6 @@ func run(pass *analysis.Pass) (any, error) {
 			"rand.%s draws from the process-global source; use an explicitly seeded *rand.Rand threaded from the run config (or annotate //lint:allow globalrand -- <reason>)",
 			fn.Name())
 	})
+	lintallow.Finish(pass, allow, name)
 	return nil, nil
 }

@@ -12,55 +12,112 @@
 // names may be given, comma-separated. An allow comment with no reason is
 // accepted but discouraged: the point of the annotation is to record *why*
 // the invariant does not apply at that site.
+//
+// # Stale suppressions
+//
+// An allow comment earns its keep only while it suppresses a real
+// diagnostic; once the offending code is gone the annotation is noise
+// that misleads the next reader into believing an invariant is violated
+// nearby. The Index therefore records which entries actually suppressed
+// something, and each analyzer reports its own stale entries at the end
+// of its run via Finish: a "//lint:allow wallclock" with no wallclock
+// diagnostic under it is itself a diagnostic. Entries in _test.go files
+// are always stale (test files are exempt wholesale), and comments naming
+// no registered analyzer at all — typos — are reported by the designated
+// registry owner (the lexicographically first registered name, which in
+// the full suite never skips a package). Two blind spots are accepted:
+// a package exempted by an -allowpkgs flag returns before the stale scan,
+// and an analyzer that exempts its own defining package (simtime inside
+// the sim package) cannot vouch for entries there.
 package lintallow
 
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
+
+	"golang.org/x/tools/go/analysis"
 )
 
 // prefix is the comment marker the analyzers look for.
 const prefix = "lint:allow"
 
-// Index records, per file and line, which analyzer names are allowed.
+// ParseAllow parses one comment's text as a lint:allow annotation. The
+// input is the raw comment as the AST carries it (leading "//" included;
+// a leading marker is also tolerated when absent). It returns the analyzer
+// names the comment suppresses, the free-form reason after "--", and
+// whether the comment is a well-formed annotation naming at least one
+// analyzer. Malformed inputs — a name glued to the marker
+// ("lint:allowfoo"), names containing whitespace, an empty name list —
+// never suppress anything (ok is false when no valid name survives).
+func ParseAllow(text string) (names []string, reason string, ok bool) {
+	t := strings.TrimSpace(text)
+	t = strings.TrimSpace(strings.TrimPrefix(t, "//"))
+	if !strings.HasPrefix(t, prefix) {
+		return nil, "", false
+	}
+	rest := t[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false // "lint:allowfoo" is not an annotation
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		reason = strings.TrimSpace(rest[i+2:])
+		rest = rest[:i]
+	}
+	for _, name := range strings.Split(rest, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || strings.ContainsAny(name, " \t") {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names, reason, len(names) > 0
+}
+
+// entry is one allow comment: the names it suppresses and which of them
+// actually suppressed a diagnostic during this pass.
+type entry struct {
+	pos   token.Pos
+	names map[string]bool
+	used  map[string]bool
+}
+
+// Index records, per file and line, which analyzer names are allowed, and
+// tracks which entries were consulted by a successful suppression.
 type Index struct {
 	fset *token.FileSet
-	// allowed maps filename -> line -> set of analyzer names.
-	allowed map[string]map[int]map[string]bool
+	// byLine maps filename -> line -> the entry anchored there.
+	byLine map[string]map[int]*entry
+	// order keeps entries in scan order so Stale output is deterministic.
+	order []*entry
 }
 
 // NewIndex scans the comments of every file and builds the suppression
 // index for one package.
 func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
-	ix := &Index{fset: fset, allowed: make(map[string]map[int]map[string]bool)}
+	ix := &Index{fset: fset, byLine: make(map[string]map[int]*entry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, prefix) {
+				names, _, ok := ParseAllow(c.Text)
+				if !ok {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
-				if i := strings.Index(rest, "--"); i >= 0 {
-					rest = rest[:i]
-				}
-				pos := fset.Position(c.Pos())
-				lines := ix.allowed[pos.Filename]
+				pos := ix.fset.Position(c.Pos())
+				lines := ix.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					ix.allowed[pos.Filename] = lines
+					lines = make(map[int]*entry)
+					ix.byLine[pos.Filename] = lines
 				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
+				e := lines[pos.Line]
+				if e == nil {
+					e = &entry{pos: c.Pos(), names: make(map[string]bool), used: make(map[string]bool)}
+					lines[pos.Line] = e
+					ix.order = append(ix.order, e)
 				}
-				for _, name := range strings.Split(rest, ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						names[name] = true
-					}
+				for _, name := range names {
+					e.names[name] = true
 				}
 			}
 		}
@@ -70,14 +127,108 @@ func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
 
 // Allowed reports whether the analyzer called name is suppressed at pos:
 // either the same line or the line directly above carries a matching
-// //lint:allow comment.
+// //lint:allow comment. A match marks the entry as used, so callers must
+// only consult Allowed when a diagnostic would otherwise be reported —
+// checking it speculatively would hide stale annotations.
 func (ix *Index) Allowed(name string, pos token.Pos) bool {
 	p := ix.fset.Position(pos)
-	lines := ix.allowed[p.Filename]
+	lines := ix.byLine[p.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[p.Line][name] || lines[p.Line-1][name]
+	hit := false
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if e := lines[line]; e != nil && e.names[name] {
+			e.used[name] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Stale returns, in file order, the positions of allow entries naming
+// name that never suppressed a diagnostic during this pass.
+func (ix *Index) Stale(name string) []token.Pos {
+	var out []token.Pos
+	for _, e := range ix.order {
+		if e.names[name] && !e.used[name] {
+			out = append(out, e.pos)
+		}
+	}
+	return out
+}
+
+// unknown returns entries carrying at least one name outside known, with
+// the offending names, in file order.
+func (ix *Index) unknown(known map[string]bool) (pos []token.Pos, names [][]string) {
+	for _, e := range ix.order {
+		var bad []string
+		for n := range e.names {
+			if !known[n] {
+				bad = append(bad, n)
+			}
+		}
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			pos = append(pos, e.pos)
+			names = append(names, bad)
+		}
+	}
+	return pos, names
+}
+
+// known is the registry of analyzer names linked into this process. Each
+// analyzer package registers its own name from init, so any binary that
+// runs an analyzer knows the names that could legitimately appear in an
+// allow comment.
+var known = map[string]bool{}
+
+// RegisterKnown records analyzer names as part of the linked suite; the
+// analyzer packages call it from init.
+func RegisterKnown(names ...string) {
+	for _, n := range names {
+		known[n] = true
+	}
+}
+
+// unknownOwner returns the registered name designated to report
+// unknown-name entries: the lexicographically first, so exactly one
+// analyzer in any suite owns the check and reports are never duplicated.
+func unknownOwner() string {
+	owner := ""
+	for n := range known {
+		if owner == "" || n < owner {
+			owner = n
+		}
+	}
+	return owner
+}
+
+// Finish emits the end-of-run hygiene diagnostics for the analyzer called
+// name: every allow entry naming it that suppressed nothing is reported as
+// stale, and — when name is the designated registry owner — entries naming
+// no registered analyzer at all are reported as unknown. Analyzers call it
+// after their main traversal, on every package they did not skip.
+func Finish(pass *analysis.Pass, ix *Index, name string) {
+	for _, pos := range ix.Stale(name) {
+		pass.Reportf(pos,
+			"stale //lint:allow %s: no %s diagnostic is suppressed by this annotation; remove it (or restore the reason it existed)",
+			name, name)
+	}
+	if name != unknownOwner() {
+		return
+	}
+	knownNames := make([]string, 0, len(known))
+	for n := range known {
+		knownNames = append(knownNames, n)
+	}
+	sort.Strings(knownNames)
+	pos, names := ix.unknown(known)
+	for i, p := range pos {
+		pass.Reportf(p,
+			"unknown analyzer %q in //lint:allow comment (known analyzers: %s)",
+			strings.Join(names[i], ","), strings.Join(knownNames, ", "))
+	}
 }
 
 // InTestFile reports whether pos lies in a _test.go file. The ecnlint

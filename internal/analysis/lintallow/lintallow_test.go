@@ -1,0 +1,158 @@
+package lintallow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"//lint:allow wallclock", []string{"wallclock"}, "", true},
+		{"//lint:allow wallclock -- harness measures wall time", []string{"wallclock"}, "harness measures wall time", true},
+		{"// lint:allow wallclock,maporder -- two at once", []string{"wallclock", "maporder"}, "two at once", true},
+		{"//lint:allow  a , b ", []string{"a", "b"}, "", true},
+		{"lint:allow simtime -- no comment marker", []string{"simtime"}, "no comment marker", true},
+		// Malformed: must not suppress.
+		{"//lint:allowwallclock", nil, "", false},
+		{"//lint:allow", nil, "", false},
+		{"//lint:allow -- reason but no names", nil, "reason but no names", false},
+		{"//lint:allow ,,", nil, "", false},
+		{"// a normal comment", nil, "", false},
+		{"//lint:deny wallclock", nil, "", false},
+		// A name containing whitespace is dropped; others survive.
+		{"//lint:allow wall clock, maporder", []string{"maporder"}, "", true},
+	}
+	for _, c := range cases {
+		names, reason, ok := ParseAllow(c.in)
+		if !reflect.DeepEqual(names, c.names) || reason != c.reason || ok != c.ok {
+			t.Errorf("ParseAllow(%q) = %v, %q, %v; want %v, %q, %v",
+				c.in, names, reason, ok, c.names, c.reason, c.ok)
+		}
+	}
+}
+
+// parse builds an Index over one in-memory file.
+func parse(t *testing.T, src string) (*token.FileSet, *Index) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, NewIndex(fset, []*ast.File{f})
+}
+
+// posAtLine returns a token.Pos on the given 1-based line of the single
+// indexed file.
+func posAtLine(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestIndexAllowedAndStale(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:allow wallclock -- used on this line
+	//lint:allow maporder -- used on the next line
+	_ = 2
+	_ = 3 //lint:allow simtime -- never consulted: stale
+}
+`
+	fset, ix := parse(t, src)
+	if !ix.Allowed("wallclock", posAtLine(fset, 4)) {
+		t.Error("same-line allow not honored")
+	}
+	if !ix.Allowed("maporder", posAtLine(fset, 6)) {
+		t.Error("line-above allow not honored")
+	}
+	if ix.Allowed("wallclock", posAtLine(fset, 7)) {
+		t.Error("allow leaked to an unrelated line")
+	}
+	if got := ix.Stale("wallclock"); len(got) != 0 {
+		t.Errorf("wallclock entry marked stale after use: %v", got)
+	}
+	if got := ix.Stale("simtime"); len(got) != 1 {
+		t.Errorf("unconsulted simtime entry not stale: got %d positions", len(got))
+	} else if line := fset.Position(got[0]).Line; line != 7 {
+		t.Errorf("stale position on line %d, want 7", line)
+	}
+}
+
+func TestPkgAllowed(t *testing.T) {
+	cases := []struct {
+		list, path string
+		want       bool
+	}{
+		{"internal/harness", "ecnsharp/internal/harness", true},
+		{"internal/harness", "internal/harness", true},
+		{"internal/harness", "ecnsharp/internal/harnessx", false},
+		{"internal/harness", "ecnsharp/internal/metrics", false},
+		{"a,internal/metrics , b", "ecnsharp/internal/metrics", true},
+		{"", "anything", false},
+	}
+	for _, c := range cases {
+		if got := PkgAllowed(c.list, c.path); got != c.want {
+			t.Errorf("PkgAllowed(%q, %q) = %v, want %v", c.list, c.path, got, c.want)
+		}
+	}
+}
+
+// FuzzParseAllow asserts the comment parser never panics and that only
+// well-formed annotations suppress: every returned name is non-empty,
+// whitespace-free, and actually present in the input.
+func FuzzParseAllow(f *testing.F) {
+	seeds := []string{
+		"//lint:allow wallclock",
+		"//lint:allow wallclock -- reason",
+		"//lint:allow a,b,c -- x -- y",
+		"//lint:allowfoo",
+		"//lint:allow",
+		"//lint:allow ,, -- ",
+		"//lint:allow \twallclock\t--\treason",
+		"//lint:allow é,日本語 -- unicode names",
+		"lint:allow bare",
+		"////lint:allow doubled",
+		"//lint:allow -- only reason",
+		"//lint:allow " + strings.Repeat("x", 1<<12),
+		"//lint:allow a b, c",
+		"//lint:allow nbsp",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		names, reason, ok := ParseAllow(s)
+		if ok != (len(names) > 0) {
+			t.Fatalf("ok=%v inconsistent with %d names for %q", ok, len(names), s)
+		}
+		for _, n := range names {
+			if n == "" || strings.ContainsAny(n, " \t") {
+				t.Fatalf("malformed name %q accepted from %q", n, s)
+			}
+			if !strings.Contains(s, n) {
+				t.Fatalf("name %q not a substring of input %q", n, s)
+			}
+		}
+		if reason != "" && !strings.Contains(s, "--") {
+			t.Fatalf("reason %q produced without a -- separator in %q", reason, s)
+		}
+		if !utf8.ValidString(s) {
+			return // garbage in, anything-but-a-panic out
+		}
+	})
+}

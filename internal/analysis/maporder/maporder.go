@@ -62,6 +62,8 @@ var Analyzer = &analysis.Analyzer{
 	Run:      run,
 }
 
+func init() { lintallow.RegisterKnown(name) }
+
 func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	allow := lintallow.NewIndex(pass.Fset, pass.Files)
@@ -78,14 +80,32 @@ func run(pass *analysis.Pass) (any, error) {
 		if _, isMap := tv.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		if lintallow.InTestFile(pass.Fset, rs.Pos()) ||
-			allow.Allowed(name, rs.Pos()) {
+		if lintallow.InTestFile(pass.Fset, rs.Pos()) {
 			return true
 		}
 
+		// Gather the loop's violations before consulting the allow index:
+		// Allowed marks an annotation as used, so an allow on the range
+		// line of a loop with nothing to report must not be consulted —
+		// it is stale and the stale scan should say so.
+		sinks := sinkCalls(pass, rs.Body)
+		fn := enclosingFunc(stack)
+		var apps []appendTo
+		for _, app := range outerAppends(pass, rs) {
+			if fn != nil && sortedLater(pass, fn, rs.End(), app.obj) {
+				continue
+			}
+			apps = append(apps, app)
+		}
+		if len(sinks) == 0 && len(apps) == 0 {
+			return true
+		}
+		// An allow on the range statement line suppresses the whole loop.
+		loopAllowed := allow.Allowed(name, rs.Pos())
+
 		// Direct sinks inside the loop body.
-		for _, call := range sinkCalls(pass, rs.Body) {
-			if allow.Allowed(name, call.pos) {
+		for _, call := range sinks {
+			if loopAllowed || allow.Allowed(name, call.pos) {
 				continue
 			}
 			pass.Reportf(call.pos,
@@ -95,12 +115,8 @@ func run(pass *analysis.Pass) (any, error) {
 
 		// Collect-without-sort: appends to slices declared outside the loop
 		// that the enclosing function never sorts.
-		fn := enclosingFunc(stack)
-		for _, app := range outerAppends(pass, rs) {
-			if fn != nil && sortedLater(pass, fn, rs.End(), app.obj) {
-				continue
-			}
-			if allow.Allowed(name, app.pos) {
+		for _, app := range apps {
+			if loopAllowed || allow.Allowed(name, app.pos) {
 				continue
 			}
 			pass.Reportf(app.pos,
@@ -109,6 +125,7 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 		return true
 	})
+	lintallow.Finish(pass, allow, name)
 	return nil, nil
 }
 

@@ -1,0 +1,591 @@
+// Package poolown defines an analyzer that enforces the packet pool's
+// ownership contract at compile time.
+//
+// packet.Pool hands out exactly one owner per Get: the packet must reach a
+// terminal point — Pool.Put, a send (channel or Handoff), storage into a
+// longer-lived structure, or a return to the caller — on every control-flow
+// path, and must not be touched after it is Put back. Today a missed Put
+// silently degrades to GC pressure (the zero-alloc property erodes without
+// failing anything) and a double Put panics at run time only on the runs
+// that exercise the path. The analyzer checks, per function:
+//
+//   - every packet obtained from Pool.Get or an AllocPacket helper reaches
+//     a terminal use on all paths before the function returns. Terminal
+//     means: passed to any call (Put, Send, emit, …), sent on a channel,
+//     returned, stored via assignment, or captured by a closure. Paths
+//     that end in panic are exempt;
+//   - in straight-line code, a variable that has been Put is dead: a
+//     subsequent use is a use-after-Put and a subsequent Put is a double
+//     Put (the run-time panic, surfaced statically);
+//   - an allocation whose result is discarded (bare expression statement
+//     or assigned to _) leaks immediately.
+//
+// The analysis is a conservative AST walk, not a CFG: a loop body counts
+// as releasing if a terminal use appears anywhere in it, break/continue
+// abandon tracking, and release state is not merged across branches —
+// false negatives are accepted to keep true positives trustworthy.
+// Deliberate exceptions (a packet parked in a free-list the analyzer
+// cannot see, say) are annotated "//lint:allow poolown -- <reason>".
+package poolown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ecnsharp/internal/analysis/lintallow"
+)
+
+var poolType string
+
+// name is the analyzer name used in diagnostics and allow comments.
+const name = "poolown"
+
+// Analyzer is the poolown analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "enforces packet-pool ownership: every Pool.Get/AllocPacket reaches Put, a send, storage, or a return on all paths; no use-after-Put or double Put in straight-line code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// Compile-time assertion that run has the go/analysis driver signature;
+// a drift here would otherwise only surface when the Analyzer literal
+// above is rebuilt.
+var _ func(*analysis.Pass) (any, error) = run
+
+func init() {
+	lintallow.RegisterKnown(name)
+	Analyzer.Flags.StringVar(&poolType, "pooltype", "ecnsharp/internal/packet.Pool",
+		"fully qualified name of the packet pool type")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	poolPkg, poolName := splitQualified(poolType)
+	if pass.Pkg.Path() == poolPkg {
+		return nil, nil // the pool's own implementation manages raw packets
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := lintallow.NewIndex(pass.Fset, pass.Files)
+
+	a := &analyzer{pass: pass, allow: allow, poolPkg: poolPkg, poolName: poolName}
+
+	// Leak detection: every allocation must reach a terminal use on all
+	// paths to the end of its function.
+	ins.WithStack([]ast.Node{(*ast.AssignStmt)(nil), (*ast.ExprStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || lintallow.InTestFile(pass.Fset, n.Pos()) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && a.isAlloc(call) {
+				a.report(call.Pos(),
+					"result of %s is discarded: the packet leaks immediately; keep it and release it with Put, a send, or a handoff (or annotate //lint:allow poolown -- <reason>)",
+					callName(call))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !a.isAlloc(call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				a.report(call.Pos(),
+					"result of %s is discarded: the packet leaks immediately; keep it and release it with Put, a send, or a handoff (or annotate //lint:allow poolown -- <reason>)",
+					callName(call))
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			a.checkLeak(stack, n, call, obj)
+		}
+		return true
+	})
+
+	// Use-after-Put / double-Put in straight-line code: scan every
+	// statement list independently.
+	ins.Preorder([]ast.Node{(*ast.BlockStmt)(nil), (*ast.CaseClause)(nil), (*ast.CommClause)(nil)}, func(n ast.Node) {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		}
+		a.scanReleased(list)
+	})
+
+	lintallow.Finish(pass, allow, name)
+	return nil, nil
+}
+
+// analyzer carries the per-package state of the poolown pass.
+type analyzer struct {
+	pass     *analysis.Pass
+	allow    *lintallow.Index
+	poolPkg  string
+	poolName string
+}
+
+// report emits a diagnostic unless an allow comment or test file covers it.
+func (a *analyzer) report(pos token.Pos, format string, args ...any) {
+	if lintallow.InTestFile(a.pass.Fset, pos) || a.allow.Allowed(name, pos) {
+		return
+	}
+	a.pass.Reportf(pos, format, args...)
+}
+
+// isPoolRecv reports whether e is a value of the pool type (or pointer).
+func (a *analyzer) isPoolRecv(e ast.Expr) bool {
+	t := a.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == a.poolPkg && obj.Name() == a.poolName
+}
+
+// isAlloc reports whether call allocates a pooled packet: Pool.Get or any
+// function or method named AllocPacket.
+func (a *analyzer) isAlloc(call *ast.CallExpr) bool {
+	f, ok := typeutil.Callee(a.pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	if f.Name() == "AllocPacket" {
+		return true
+	}
+	if f.Name() != "Get" {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && a.isPoolRecv(sel.X)
+}
+
+// isPut reports whether call is Pool.Put with a plain identifier argument,
+// returning that identifier's object.
+func (a *analyzer) isPut(call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 || !a.isPoolRecv(sel.X) {
+		return nil, false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := a.pass.TypesInfo.ObjectOf(id)
+	return obj, obj != nil
+}
+
+// ownership status of one allocation along the walked path.
+type status int
+
+const (
+	owned  status = iota // allocated, terminal not yet reached
+	done                 // terminal use seen (or tracking abandoned)
+	exited               // path left the function (return/panic)
+)
+
+// checkLeak walks the control flow from the allocation to the end of its
+// enclosing function, reporting if any path ends while the packet is
+// still owned.
+func (a *analyzer) checkLeak(stack []ast.Node, alloc ast.Stmt, call *ast.CallExpr, obj types.Object) {
+	tr := &tracker{a: a, obj: obj, allocPos: call.Pos(), allocName: callName(call)}
+
+	// Walk outward from the allocation statement: flow the remainder of
+	// each enclosing statement list, stopping at the function boundary.
+	st := owned
+	cur := ast.Node(alloc)
+	for i := len(stack) - 1; i >= 0 && st == owned; i-- {
+		var list []ast.Stmt
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Leaving a loop iteration still owning the packet: the next
+			// iteration re-allocates, so this iteration's packet leaks.
+			tr.leak()
+			return
+		case *ast.FuncLit, *ast.FuncDecl:
+			// Function boundary reached while still owned on some path.
+			tr.leak()
+			return
+		default:
+			cur = stack[i]
+			continue
+		}
+		for j, s := range list {
+			if s == cur {
+				st = tr.flowList(list[j+1:], st)
+				break
+			}
+		}
+		cur = stack[i]
+	}
+	if st == owned {
+		tr.leak() // ran out of enclosing scopes (top-level list) still owned
+	}
+}
+
+// tracker follows one allocation's ownership through the statement walk.
+type tracker struct {
+	a         *analyzer
+	obj       types.Object
+	allocPos  token.Pos
+	allocName string
+	reported  bool
+}
+
+// leak reports the allocation as not released on every path, once.
+func (tr *tracker) leak() {
+	if tr.reported {
+		return
+	}
+	tr.reported = true
+	tr.a.report(tr.allocPos,
+		"packet from %s does not reach Put, a send, or a handoff on every path before the function returns (or annotate //lint:allow poolown -- <reason>)",
+		tr.allocName)
+}
+
+// flowList folds flowStmt over a statement list.
+func (tr *tracker) flowList(list []ast.Stmt, st status) status {
+	for _, s := range list {
+		if st != owned {
+			return st
+		}
+		st = tr.flowStmt(s, st)
+	}
+	return st
+}
+
+// flowStmt advances the ownership status across one statement.
+func (tr *tracker) flowStmt(s ast.Stmt, st status) status {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return tr.flowList(s.List, st)
+	case *ast.LabeledStmt:
+		return tr.flowStmt(s.Stmt, st)
+	case *ast.ReturnStmt:
+		if tr.uses(s) {
+			return exited // returned to the caller: ownership transferred
+		}
+		if st == owned {
+			tr.leak()
+		}
+		return exited
+	case *ast.ExprStmt:
+		if isPanic(tr.a.pass, s.X) {
+			return exited // panic paths need not release
+		}
+		if tr.terminal(s) {
+			return done
+		}
+		return st
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = tr.flowStmt(s.Init, st)
+		}
+		then := tr.flowStmt(s.Body, st)
+		els := st
+		if s.Else != nil {
+			els = tr.flowStmt(s.Else, st)
+		}
+		return merge(then, els)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return tr.flowCases(s, st)
+	case *ast.ForStmt, *ast.RangeStmt:
+		// Conservative: a terminal use anywhere in the loop counts (the
+		// loop may also run zero times, so st is a possible outcome too —
+		// but treating "releases in the loop" as released keeps the
+		// common drain-and-Put pattern clean).
+		if tr.terminal(s) {
+			return done
+		}
+		return st
+	case *ast.BranchStmt:
+		return done // break/continue/goto: abandon tracking, no CFG here
+	default:
+		if tr.terminal(s) {
+			return done
+		}
+		return st
+	}
+}
+
+// flowCases merges the ownership status across switch/select clauses.
+func (tr *tracker) flowCases(s ast.Stmt, st status) status {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	collect := func(body *ast.BlockStmt) {
+		for _, c := range body.List {
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				bodies = append(bodies, c.Body)
+				if c.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				// The comm operation itself may send the packet.
+				stmts := c.Body
+				if c.Comm != nil {
+					stmts = append([]ast.Stmt{c.Comm}, stmts...)
+				}
+				bodies = append(bodies, stmts)
+				if c.Comm == nil {
+					hasDefault = true
+				}
+			}
+		}
+	}
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = tr.flowStmt(s.Init, st)
+		}
+		collect(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = tr.flowStmt(s.Init, st)
+		}
+		collect(s.Body)
+	case *ast.SelectStmt:
+		collect(s.Body)
+		hasDefault = true // select blocks until a clause runs
+	}
+	out := exited
+	for _, b := range bodies {
+		out = merge(out, tr.flowList(b, st))
+	}
+	if !hasDefault {
+		out = merge(out, st) // no clause may match
+	}
+	return out
+}
+
+// merge combines the status of two alternative paths: a path that exited
+// imposes nothing; otherwise both must have released.
+func merge(a, b status) status {
+	if a == exited {
+		return b
+	}
+	if b == exited {
+		return a
+	}
+	if a == done && b == done {
+		return done
+	}
+	return owned
+}
+
+// uses reports whether the tracked object is mentioned anywhere in n.
+func (tr *tracker) uses(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && tr.a.pass.TypesInfo.ObjectOf(id) == tr.obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// terminal reports whether s transfers the packet's ownership: the object
+// appears in a call argument, a channel send, the right-hand side of an
+// assignment (stored), or a closure body (captured).
+func (tr *tracker) terminal(s ast.Node) bool {
+	found := false
+	ast.Inspect(s, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				if tr.uses(arg) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if tr.uses(m.Value) {
+				found = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range m.Rhs {
+				if tr.uses(rhs) {
+					found = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			if tr.uses(m.Body) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// scanReleased walks one statement list linearly, tracking variables that
+// have been Put and reporting straight-line uses after the release.
+func (a *analyzer) scanReleased(list []ast.Stmt) {
+	released := map[types.Object]bool{}
+	for _, s := range list {
+		if len(released) > 0 {
+			for obj := range released {
+				if a.checkReleasedUse(s, obj) {
+					delete(released, obj)
+				}
+			}
+		}
+		// Record a Put performed by this statement (after checking uses,
+		// so the releasing statement itself is not flagged). Only a plain
+		// top-level `pool.Put(p)` statement counts: a Put nested in a
+		// branch or clause is conditional, and this scan is straight-line
+		// by design.
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if obj, ok := a.isPut(call); ok {
+			released[obj] = true
+		}
+	}
+}
+
+// checkReleasedUse reports uses of a released object inside s. It returns
+// true when tracking for obj should stop: a report was made, or the
+// statement reassigns the variable.
+func (a *analyzer) checkReleasedUse(s ast.Stmt, obj types.Object) bool {
+	// A reassignment revives the variable (commonly p = pool.Get()).
+	reassigned := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && a.pass.TypesInfo.ObjectOf(id) == obj {
+				reassigned = true
+			}
+		}
+		return !reassigned
+	})
+	if reassigned {
+		return true
+	}
+	var usePos token.Pos
+	secondPut := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if usePos.IsValid() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if putObj, ok := a.isPut(call); ok && putObj == obj {
+				usePos = call.Pos()
+				secondPut = true
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && a.pass.TypesInfo.ObjectOf(id) == obj {
+			usePos = id.Pos()
+		}
+		return !usePos.IsValid()
+	})
+	if !usePos.IsValid() {
+		return false
+	}
+	if secondPut {
+		a.report(usePos,
+			"double Put of %q: the packet was already returned to the pool on a statement above (this is the run-time pool panic, caught statically) (or annotate //lint:allow poolown -- <reason>)",
+			obj.Name())
+	} else {
+		a.report(usePos,
+			"use of %q after Put: the packet was returned to the pool on a statement above and may already be reused (or annotate //lint:allow poolown -- <reason>)",
+			obj.Name())
+	}
+	return true
+}
+
+// unparen strips any parentheses around e.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isPanic reports whether e is a call to the panic builtin.
+func isPanic(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// splitQualified splits "pkg/path.Name" at the last dot.
+func splitQualified(q string) (pkg, name string) {
+	i := strings.LastIndex(q, ".")
+	if i < 0 {
+		return "", q
+	}
+	return q[:i], q[i+1:]
+}
+
+// callName renders the allocation call for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	default:
+		return "the pool allocation"
+	}
+}

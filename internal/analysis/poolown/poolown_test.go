@@ -1,0 +1,26 @@
+package poolown_test
+
+import (
+	"testing"
+
+	"ecnsharp/internal/analysis/analyzertest"
+	"ecnsharp/internal/analysis/poolown"
+)
+
+// TestPoolown checks the true positives: branch and loop leaks, discarded
+// allocations, use-after-Put and double Put.
+func TestPoolown(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), poolown.Analyzer, "poolbad")
+}
+
+// TestPoolownClean is the negative test: Put-on-all-paths, returns, sends,
+// stores, deferred Puts, drain loops and panic exits stay silent.
+func TestPoolownClean(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), poolown.Analyzer, "poolclean")
+}
+
+// TestPoolownAllowed is the suppression test: annotated violations are
+// silent and none of the annotations is stale.
+func TestPoolownAllowed(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), poolown.Analyzer, "poolallowed")
+}

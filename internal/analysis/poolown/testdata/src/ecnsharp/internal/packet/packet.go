@@ -1,0 +1,36 @@
+// Package packet is a miniature stand-in for the real packet pool: the
+// poolown analyzer recognizes the Pool type by its qualified name
+// (ecnsharp/internal/packet.Pool), which this GOPATH-layout fixture
+// reproduces with just the Get/Put surface the rules look at.
+package packet
+
+// Packet is one pooled packet.
+type Packet struct {
+	Len  int
+	Seq  uint64
+	Mark bool
+}
+
+// Pool is a LIFO free list of packets.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a packet the caller now owns.
+func (p *Pool) Get() *Packet {
+	if p == nil || len(p.free) == 0 {
+		return &Packet{}
+	}
+	pk := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return pk
+}
+
+// Put returns a packet to the pool; the caller must not touch it again.
+func (p *Pool) Put(pk *Packet) {
+	if p == nil {
+		return
+	}
+	*pk = Packet{}
+	p.free = append(p.free, pk)
+}

@@ -1,0 +1,60 @@
+// Package poolbad holds the poolown true positives: branch leaks,
+// discarded allocations, loop leaks, use-after-Put and double Put.
+package poolbad
+
+import "ecnsharp/internal/packet"
+
+// Host mimics the device-side allocation helper.
+type Host struct {
+	pool *packet.Pool
+}
+
+// AllocPacket hands out a packet the caller owns.
+func (h *Host) AllocPacket() *packet.Packet { return h.pool.Get() }
+
+// BranchLeak releases on one branch only.
+func BranchLeak(pool *packet.Pool, drop bool) {
+	p := pool.Get() // want `packet from pool.Get does not reach Put, a send, or a handoff on every path`
+	p.Len = 64
+	if drop {
+		pool.Put(p)
+	}
+}
+
+// Discarded throws the packet away immediately.
+func Discarded(pool *packet.Pool) {
+	pool.Get() // want `result of pool.Get is discarded`
+}
+
+// DiscardedBlank assigns the allocation to the blank identifier.
+func DiscardedBlank(h *Host) {
+	_ = h.AllocPacket() // want `result of h.AllocPacket is discarded`
+}
+
+// LoopLeak allocates every iteration and never releases.
+func LoopLeak(pool *packet.Pool, n int) {
+	for i := 0; i < n; i++ {
+		p := pool.Get() // want `packet from pool.Get does not reach Put, a send, or a handoff on every path`
+		p.Seq = uint64(i)
+	}
+}
+
+// HelperLeak loses a packet from the AllocPacket helper at function end.
+func HelperLeak(h *Host) {
+	p := h.AllocPacket() // want `packet from h.AllocPacket does not reach Put, a send, or a handoff on every path`
+	p.Mark = true
+}
+
+// UseAfterPut touches the packet after returning it to the pool.
+func UseAfterPut(pool *packet.Pool) int {
+	p := pool.Get()
+	pool.Put(p)
+	return p.Len // want `use of "p" after Put`
+}
+
+// DoublePut releases the same packet twice: the run-time pool panic.
+func DoublePut(pool *packet.Pool) {
+	p := pool.Get()
+	pool.Put(p)
+	pool.Put(p) // want `double Put of "p"`
+}

@@ -1,0 +1,101 @@
+// Package poolclean holds the poolown negative cases: every allocation
+// reaches a terminal point on all paths. The file has no want comments,
+// so the analyzer must stay silent.
+package poolclean
+
+import "ecnsharp/internal/packet"
+
+// Egress mimics a queue that stores packets it now owns.
+type Egress struct {
+	fifo []*packet.Packet
+}
+
+// push stores the packet in the queue.
+func (e *Egress) push(p *packet.Packet) { e.fifo = append(e.fifo, p) }
+
+// AllBranchesPut releases on every path.
+func AllBranchesPut(pool *packet.Pool, drop bool) {
+	p := pool.Get()
+	if drop {
+		pool.Put(p)
+		return
+	}
+	p.Len = 64
+	pool.Put(p)
+}
+
+// Returned transfers ownership to the caller.
+func Returned(pool *packet.Pool) *packet.Packet {
+	p := pool.Get()
+	p.Len = 1500
+	return p
+}
+
+// Sent transfers ownership over a channel.
+func Sent(pool *packet.Pool, out chan *packet.Packet) {
+	p := pool.Get()
+	out <- p
+}
+
+// Stored transfers ownership into a longer-lived structure.
+func Stored(pool *packet.Pool, e *Egress) {
+	p := pool.Get()
+	e.push(p)
+}
+
+// FieldStored assigns the packet into a struct the caller owns.
+func FieldStored(pool *packet.Pool, e *Egress) {
+	p := pool.Get()
+	e.fifo = append(e.fifo, p)
+}
+
+// DeferredPut releases via defer, covering panic exits too.
+func DeferredPut(pool *packet.Pool) int {
+	p := pool.Get()
+	defer pool.Put(p)
+	p.Len = 9000
+	return p.Len
+}
+
+// DrainLoop allocates and releases every iteration.
+func DrainLoop(pool *packet.Pool, n int) {
+	for i := 0; i < n; i++ {
+		p := pool.Get()
+		p.Seq = uint64(i)
+		pool.Put(p)
+	}
+}
+
+// PanicPath may exit via panic while owning the packet: panic paths are
+// exempt, and the normal path releases.
+func PanicPath(pool *packet.Pool, n int) {
+	p := pool.Get()
+	if n < 0 {
+		panic("negative length")
+	}
+	p.Len = n
+	pool.Put(p)
+}
+
+// SwitchPut releases in every switch arm.
+func SwitchPut(pool *packet.Pool, kind int) {
+	p := pool.Get()
+	switch kind {
+	case 0:
+		pool.Put(p)
+	case 1:
+		p.Mark = true
+		pool.Put(p)
+	default:
+		pool.Put(p)
+	}
+}
+
+// Revived reuses the variable for a fresh allocation after a Put.
+func Revived(pool *packet.Pool) {
+	p := pool.Get()
+	pool.Put(p)
+	p = pool.Get()
+	p.Len = 1
+	pool.Put(p)
+}

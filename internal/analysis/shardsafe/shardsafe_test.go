@@ -1,0 +1,29 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"ecnsharp/internal/analysis/analyzertest"
+	"ecnsharp/internal/analysis/shardsafe"
+)
+
+// TestShardsafe checks the true positives: a post-init global write and
+// read, a coordinator capture, and a cross-domain engine in a scheduled
+// callback (all in the fake device package, which is on the default
+// -shardpkgs list).
+func TestShardsafe(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), shardsafe.Analyzer, "ecnsharp/internal/device")
+}
+
+// TestShardsafeClean is the negative test: the handoff idiom, init-only
+// globals, and same-engine callbacks produce no diagnostics.
+func TestShardsafeClean(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), shardsafe.Analyzer, "ecnsharp/internal/topology")
+}
+
+// TestShardsafeAllowed is the suppression test: the same violations with
+// //lint:allow shardsafe annotations stay silent, and none of the
+// annotations is stale.
+func TestShardsafeAllowed(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), shardsafe.Analyzer, "ecnsharp/internal/aqm")
+}

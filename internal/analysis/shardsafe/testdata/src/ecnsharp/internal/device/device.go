@@ -1,0 +1,43 @@
+// Package device holds the shardsafe true positives: post-init global
+// writes and reads, coordinator capture in a closure, and a scheduled
+// callback that reaches into a different domain's engine.
+package device
+
+import "ecnsharp/internal/sim"
+
+// totalDrops is shared mutable state: written from worker-reachable code.
+var totalDrops int
+
+// configuredMTU is written only at init and read-only afterwards: fine.
+var configuredMTU int
+
+func init() {
+	configuredMTU = 1500 // initialization, exempt
+}
+
+// Drop bumps a global counter from code domain workers execute.
+func Drop() {
+	totalDrops++ // want `write to package-level variable "totalDrops"`
+}
+
+// Stats reads the mutated global.
+func Stats() int {
+	return totalDrops + configuredMTU // want `read of package-level variable "totalDrops"`
+}
+
+// WirePeek captures the coordinator inside a scheduled closure: both the
+// coordinator-capture rule and the cross-domain-engine rule fire (the
+// Domain(0) engine is not the scheduling engine e).
+func WirePeek(se *sim.ShardedEngine, e *sim.Engine) {
+	e.Schedule(10, func() {
+		_ = se.Domain(0) // want `closure captures the ShardedEngine coordinator` `callback scheduled on e touches a different Engine`
+	})
+}
+
+// CrossPoke schedules on one engine but touches another from the callback.
+func CrossPoke(mine, other *sim.Engine) {
+	mine.ScheduleArg(5, func(a any) {
+		_ = other.Now() // want `callback scheduled on mine touches a different Engine \(other\)`
+		_ = a
+	}, nil)
+}

@@ -1,0 +1,59 @@
+// Package sim is a miniature stand-in for the real engine package: the
+// shardsafe analyzer recognizes Engine and ShardedEngine by their
+// qualified names (ecnsharp/internal/sim.*), which this GOPATH-layout
+// fixture reproduces with just the surface the rules look at.
+package sim
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Event names a scheduled event for cancellation.
+type Event int
+
+// Engine is one domain's event loop.
+type Engine struct {
+	now Time
+}
+
+// Now returns the engine's virtual clock.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at time at.
+func (e *Engine) Schedule(at Time, fn func()) Event { _ = fn; _ = at; return 0 }
+
+// ScheduleArg runs fn(arg) at time at without allocating a closure.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) Event {
+	_ = fn
+	_ = arg
+	return 0
+}
+
+// After runs fn d after now.
+func (e *Engine) After(d Time, fn func()) Event { return e.Schedule(e.now+d, fn) }
+
+// AfterArg runs fn(arg) d after now.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) Event {
+	return e.ScheduleArg(e.now+d, fn, arg)
+}
+
+// ShardedEngine coordinates one Engine per domain.
+type ShardedEngine struct {
+	engs []*Engine
+}
+
+// Domain returns domain d's engine.
+func (se *ShardedEngine) Domain(d int) *Engine { return se.engs[d] }
+
+// NewHandoff registers the sanctioned cross-domain path into dst.
+func (se *ShardedEngine) NewHandoff(dst *Engine, deliver func(any)) *Handoff {
+	return &Handoff{dst: dst, deliver: deliver}
+}
+
+// Handoff carries messages between domains with lookahead timestamps.
+type Handoff struct {
+	dst     *Engine
+	deliver func(any)
+}
+
+// Send delivers msg into the destination domain at time at.
+func (h *Handoff) Send(at Time, msg any) { _ = at; _ = msg }

@@ -1,0 +1,43 @@
+// Package topology holds the shardsafe clean cases: the handoff idiom,
+// init-only globals, same-engine callbacks, and local mutation. The file
+// has no want comments, so the analyzer must stay silent.
+package topology
+
+import "ecnsharp/internal/sim"
+
+// linkRates is initialized once and never written again: reads are fine.
+var linkRates map[string]int64
+
+func init() {
+	linkRates = map[string]int64{"25G": 25_000_000_000}
+}
+
+// Wire builds the sanctioned cross-domain path: the closure passed to
+// NewHandoff references only destination-domain state, and cross-domain
+// sends go through Handoff.Send.
+func Wire(se *sim.ShardedEngine, src, dst *sim.Engine) *sim.Handoff {
+	sink := make(chan any, 1)
+	h := se.NewHandoff(dst, func(a any) { sink <- a })
+	src.Schedule(100, func() {
+		h.Send(src.Now()+240, "pkt") // timestamped into the next window
+	})
+	return h
+}
+
+// SameDomain schedules a callback that touches only its own engine.
+func SameDomain(e *sim.Engine) {
+	e.After(10, func() {
+		_ = e.Now()
+		_ = linkRates["25G"]
+	})
+}
+
+// LocalState mutates function-local and parameter state only.
+func LocalState(counts []int) {
+	total := 0
+	for i := range counts {
+		counts[i]++
+		total += counts[i]
+	}
+	_ = total
+}

@@ -49,6 +49,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func init() {
+	lintallow.RegisterKnown(name)
 	Analyzer.Flags.StringVar(&timeType, "timetype", "ecnsharp/internal/sim.Time",
 		"fully qualified name of the simulation time type")
 }
@@ -87,6 +88,9 @@ func run(pass *analysis.Pass) (any, error) {
 		obj := named.Obj()
 		return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
 	}
+	// skip is consulted only once a violation is certain: Allowed marks
+	// the annotation as used, and a speculative call would hide stale
+	// //lint:allow comments from the stale scan.
 	skip := func(pos token.Pos) bool {
 		return lintallow.InTestFile(pass.Fset, pos) || allow.Allowed(name, pos)
 	}
@@ -94,7 +98,7 @@ func run(pass *analysis.Pass) (any, error) {
 	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.BinaryExpr:
-			if !flaggedOps[n.Op] || skip(n.Pos()) {
+			if !flaggedOps[n.Op] {
 				return
 			}
 			check := func(timeSide, litSide ast.Expr) {
@@ -103,6 +107,9 @@ func run(pass *analysis.Pass) (any, error) {
 				}
 				lit, ok := rawNonzeroIntLit(pass, litSide)
 				if !ok {
+					return
+				}
+				if skip(n.Pos()) {
 					return
 				}
 				pass.Reportf(n.Pos(),
@@ -115,7 +122,7 @@ func run(pass *analysis.Pass) (any, error) {
 		case *ast.CallExpr:
 			// Conversions T(x) only: the callee must denote a type.
 			tv, ok := pass.TypesInfo.Types[n.Fun]
-			if !ok || !tv.IsType() || len(n.Args) != 1 || skip(n.Pos()) {
+			if !ok || !tv.IsType() || len(n.Args) != 1 {
 				return
 			}
 			target := tv.Type
@@ -125,16 +132,23 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			switch {
 			case isSimTime(target) && isDuration(argType):
+				if skip(n.Pos()) {
+					return
+				}
 				pass.Reportf(n.Pos(),
 					"bare %s(time.Duration) cast; use %s.FromDuration so unit handling stays in one place (or annotate //lint:allow simtime -- <reason>)",
 					simName, pkgBase(simPkg))
 			case isDuration(target) && isSimTime(argType):
+				if skip(n.Pos()) {
+					return
+				}
 				pass.Reportf(n.Pos(),
 					"bare time.Duration(%s) cast; use the %s.Duration() method (or annotate //lint:allow simtime -- <reason>)",
 					simName, simName)
 			}
 		}
 	})
+	lintallow.Finish(pass, allow, name)
 	return nil, nil
 }
 

@@ -1,0 +1,14 @@
+// Package stalecase exercises the allow-comment hygiene diagnostics: an
+// annotation that suppresses a real diagnostic is fine, one with nothing
+// under it is reported stale, and one naming no known analyzer is a typo.
+package stalecase
+
+import "time"
+
+// Mixed has one used allow, one stale allow, and one misspelled name.
+func Mixed() time.Duration {
+	time.Sleep(time.Second) //lint:allow wallclock -- fixture: suppresses a real diagnostic
+	d := time.Second        //lint:allow wallclock -- fixture: nothing here to suppress // want `stale //lint:allow wallclock`
+	_ = 1                   //lint:allow walclock -- fixture: misspelled name // want `unknown analyzer "walclock"`
+	return d
+}

@@ -63,6 +63,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func init() {
+	lintallow.RegisterKnown(name)
 	Analyzer.Flags.StringVar(&allowPkgs, "allowpkgs", "",
 		"comma-separated import-path suffixes of packages exempt from the wallclock rule")
 }
@@ -91,5 +92,6 @@ func run(pass *analysis.Pass) (any, error) {
 			"time.%s reads the wall clock; simulation code must use the sim.Engine virtual clock (or annotate //lint:allow wallclock -- <reason>)",
 			fn.Name())
 	})
+	lintallow.Finish(pass, allow, name)
 	return nil, nil
 }

@@ -19,6 +19,14 @@ func TestWallclockHarnessAllowed(t *testing.T) {
 	analyzertest.Run(t, analyzertest.TestData(t), wallclock.Analyzer, "ecnsharp/internal/harness")
 }
 
+// TestWallclockStaleAllow checks the lintallow hygiene pass: an allow
+// that suppresses nothing is reported stale, and a misspelled analyzer
+// name is reported unknown (wallclock is this test binary's designated
+// registry owner — the only registered name).
+func TestWallclockStaleAllow(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), wallclock.Analyzer, "stalecase")
+}
+
 // TestWallclockAllowPkgsFlag exempts a whole package by import-path
 // suffix via the -allowpkgs flag.
 func TestWallclockAllowPkgsFlag(t *testing.T) {

@@ -60,7 +60,7 @@ func (t *Tap) Receive(p *packet.Packet) {
 		var dup *packet.Packet
 		if t.Duplicate != nil && t.Duplicate(p) {
 			t.Duplicated++
-			dup = t.Pool.Get()
+			dup = t.Pool.Get() //lint:allow poolown -- released below: the dup != nil guard is exactly this alloc's condition, which the path-insensitive walk cannot correlate
 			*dup = *p
 		}
 		t.dst.Receive(p)

@@ -500,15 +500,20 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, errNotFound, "no such sweep")
 		return
 	}
+	// Snapshot everything under the lock and write only after releasing
+	// it: writeErr/writeJSON are paced by the client, and holding sw.mu
+	// across them would let one slow reader stall every onCellDone.
 	sw.mu.Lock()
-	defer sw.mu.Unlock()
 	switch sw.state {
 	case stateRunning:
-		writeErr(w, http.StatusConflict, errNotFinished,
-			fmt.Sprintf("sweep is still running (%d/%d cells)", sw.done, len(sw.cells)))
+		msg := fmt.Sprintf("sweep is still running (%d/%d cells)", sw.done, len(sw.cells))
+		sw.mu.Unlock()
+		writeErr(w, http.StatusConflict, errNotFinished, msg)
 		return
 	case stateFailed:
-		writeErr(w, http.StatusConflict, errNotFinished, sw.errMsg)
+		msg := sw.errMsg
+		sw.mu.Unlock()
+		writeErr(w, http.StatusConflict, errNotFinished, msg)
 		return
 	}
 
@@ -557,13 +562,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		pools = append(pools, poolView{Load: load, Stats: collector.Stats(), Counters: counters})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"id":         sw.id,
 		"state":      sw.state,
 		"cache_hits": sw.hits,
 		"pooled":     pools,
 		"cells":      cells,
-	})
+	}
+	sw.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCellTrace(w http.ResponseWriter, r *http.Request) {
