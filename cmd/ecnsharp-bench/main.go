@@ -29,6 +29,7 @@ import (
 
 	"ecnsharp/internal/experiments"
 	"ecnsharp/internal/harness"
+	_ "ecnsharp/internal/tune" // registers the tuned-vs-default experiment
 )
 
 func main() {

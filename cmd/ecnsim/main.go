@@ -14,6 +14,7 @@
 //	ecnsim -trace run.jsonl -trace-events mark,drop -trace-sample 10
 //	ecnsim -topo leafspine -faults flaps.json -trace churn.jsonl -trace-events fault,reroute,flow_fail
 //	ecnsim -spec sweep.json -parallel 4   # run a JSON sweep spec (same schema ecnsharpd serves)
+//	ecnsim -tune tune.json -parallel 4 -tune-out result.json   # auto-tune AQM parameters
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"ecnsharp/internal/cache"
 	"ecnsharp/internal/experiments"
 	"ecnsharp/internal/fault"
 	"ecnsharp/internal/harness"
@@ -38,6 +40,7 @@ import (
 	"ecnsharp/internal/topology"
 	"ecnsharp/internal/trace"
 	"ecnsharp/internal/transport"
+	"ecnsharp/internal/tune"
 	"ecnsharp/internal/workload"
 )
 
@@ -63,6 +66,12 @@ func main() {
 			"inject topology faults from this JSON schedule (link flaps, switch\nfailures, degrades — see internal/fault and DESIGN.md)")
 		specPath = flag.String("spec", "",
 			"run a JSON sweep spec instead of the flag-built single config — the\nsame schema ecnsharpd accepts (see docs/API.md); ignores the scheme/\nworkload/topology flags")
+		tunePath = flag.String("tune", "",
+			"run a JSON tune spec: search AQM parameters over the spec's sweep\ngrid (same schema ecnsharpd's POST /v1/tune accepts; see docs/API.md\nand DESIGN.md); ignores the scheme/workload/topology flags")
+		tuneOut = flag.String("tune-out", "",
+			"with -tune: write the full TuneResult JSON document to this file")
+		tuneCache = flag.String("tune-cache", "",
+			"with -tune: cache per-cell results in this directory, so re-tuning\noverlapping specs never recomputes a cell")
 
 		traceFile = flag.String("trace", "",
 			"stream an event trace to this file (JSONL; a .csv suffix selects CSV);\nwith multiple seeds each job writes <name>.job<N><ext>  (see TRACING.md)")
@@ -74,6 +83,10 @@ func main() {
 
 	if *specPath != "" {
 		runSpec(*specPath, *parallel, *timeout, *progress, *traceFile)
+		return
+	}
+	if *tunePath != "" {
+		runTune(*tunePath, *tuneOut, *tuneCache, *parallel, *timeout, *progress)
 		return
 	}
 
@@ -385,5 +398,75 @@ func runSpec(path string, parallel int, timeout time.Duration, progress bool, tr
 		}
 		sort.Strings(paths)
 		fmt.Printf("event trace: %s\n", strings.Join(paths, ", "))
+	}
+}
+
+// runTune executes a JSON tune spec: the searcher proposes candidate
+// parameter vectors, every candidate is scored on the spec's (load, seed)
+// cell grid, and the winner is printed next to the paper-default anchor.
+// With -tune-cache, per-cell results are content-addressed on disk so
+// re-tuning never recomputes a cell.
+func runTune(path, outPath, cacheDir string, parallel int, timeout time.Duration, progress bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnsim:", err)
+		os.Exit(1)
+	}
+	spec, err := tune.ParseSpec(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnsim:", err)
+		os.Exit(2)
+	}
+	opts := tune.Options{Parallel: parallel, Timeout: timeout}
+	if cacheDir != "" {
+		store, err := cache.Open(cacheDir, cache.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+	if progress {
+		opts.OnProgress = func(p tune.Progress) {
+			if p.Type != "eval" {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] round %d cand %d score %.1f (best %.1f, %d/%d cells cached)\n",
+				p.Evals, p.Budget, p.Round, p.Index, p.Score, p.BestScore, p.CachedCells, p.Cells)
+		}
+	}
+	res, err := tune.Run(context.Background(), spec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("tune      %s: %s over %d params, budget %d, seed %d\n",
+		path, spec.Searcher, spec.Space.NumParams(), spec.Budget, spec.Seed)
+	fmt.Printf("grid      %s/%s on %s, %d loads x %d seeds per candidate\n",
+		spec.Sweep.Scheme, spec.Sweep.Workload, spec.Sweep.Topo, len(spec.Sweep.Loads), len(spec.Sweep.Seeds))
+	fmt.Printf("evals     %d candidates in %d rounds\n\n", len(res.Evals), res.Rounds)
+	printVec := func(label string, e tune.Eval) {
+		fmt.Printf("%s  objective(%s) = %.1f\n", label, spec.Objective, e.Score)
+		for p, v := range e.Vector {
+			fmt.Printf("  %-28s %10.1f\n", spec.Space.ParamName(p), v)
+		}
+	}
+	printVec("default", res.Default)
+	fmt.Println()
+	printVec("tuned  ", res.Best)
+	fmt.Printf("\nimprovement %.2fx (default/best)\n", res.Improvement)
+
+	if outPath != "" {
+		b, err := res.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(outPath, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ecnsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("result written to %s\n", outPath)
 	}
 }

@@ -25,6 +25,7 @@ var docAuditPackages = []string{
 	"internal/cache",
 	"internal/service",
 	"internal/experiments",
+	"internal/tune",
 }
 
 // TestExportedDocComments fails for every exported top-level identifier in

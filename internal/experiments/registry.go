@@ -12,8 +12,31 @@ type Experiment struct {
 	Run   func(sc Scale) []*Table
 }
 
-// All returns every experiment keyed by id, in paper order.
+// registered holds experiments contributed by other packages via Register,
+// appended after the built-in paper order in All().
+var registered []Experiment
+
+// Register adds an experiment contributed by another package (for example
+// internal/tune's tuned-vs-default), avoiding an import cycle: callers
+// register from init and the CLIs blank-import them. Duplicate or
+// incomplete registrations panic — they are programmer errors.
+func Register(e Experiment) {
+	if e.ID == "" || e.Brief == "" || e.Run == nil {
+		panic(fmt.Sprintf("experiments: incomplete registration %+v", e.ID))
+	}
+	if _, err := ByID(e.ID); err == nil {
+		panic(fmt.Sprintf("experiments: duplicate experiment id %q", e.ID))
+	}
+	registered = append(registered, e)
+}
+
+// All returns every experiment keyed by id: the built-ins in paper order,
+// then Register-contributed ones in registration order.
 func All() []Experiment {
+	return append(builtin(), registered...)
+}
+
+func builtin() []Experiment {
 	return []Experiment{
 		{"table1", "RTT statistics of processing-component combinations (Table 1 / Fig 1)",
 			func(sc Scale) []*Table { t, _ := Table1(sc.Seeds[0], 3000); return []*Table{t} }},

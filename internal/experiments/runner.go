@@ -80,6 +80,12 @@ type RunConfig struct {
 	// used by extension experiments whose AQMs are not in the Scheme enum.
 	AQMFactory func(rng *rand.Rand) func(q int) aqm.AQM
 
+	// AQMAt, when non-nil, takes precedence over both Scheme and
+	// AQMFactory and receives each port's fabric location — the
+	// per-switch/per-tier assignment hook Cell.Tuned compiles into (see
+	// TunedParams.AQMAt and topology.Options.NewAQMAt).
+	AQMAt func(loc topology.PortLoc, q int) aqm.AQM
+
 	// RTT, when non-nil, injects per-flow base RTTs via netem-style
 	// sender delay.
 	RTT *rttvar.RTTDistribution
@@ -203,6 +209,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		},
 		NumQueues:         cfg.NumQueues,
 		NewAQM:            newAQM,
+		NewAQMAt:          cfg.AQMAt,
 		SharedBufferBytes: cfg.SharedBufferBytes,
 		DTAlpha:           cfg.DTAlpha,
 		Shards:            cfg.Shards,

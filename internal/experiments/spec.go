@@ -213,6 +213,11 @@ type Cell struct {
 	TraceEvents string `json:"trace_events,omitempty"`
 	// TraceSample is the sampling stride when TraceEvents is set.
 	TraceSample int `json:"trace_sample,omitempty"`
+	// Tuned, when non-nil, overrides the named scheme's derived parameters
+	// with an explicit per-scope assignment — the tuner's candidate (see
+	// internal/tune). It participates in the canonical encoding and hence
+	// the cache key; omitempty keeps untuned cells' keys unchanged.
+	Tuned *TunedParams `json:"tuned,omitempty"`
 }
 
 // Cells expands the normalized spec into its load × seed grid, loads
@@ -252,7 +257,9 @@ func (c Cell) CanonicalJSON() []byte {
 	c.Shards = 0
 	b, err := json.Marshal(c)
 	if err != nil {
-		// Cell is a flat value struct; Marshal cannot fail.
+		// Cell holds only value types with exact encodings; Marshal can
+		// fail only on a non-finite Tuned value, which TunedParams.Validate
+		// rejects before any cell is run or keyed.
 		panic(fmt.Sprintf("experiments: canonicalizing cell: %v", err))
 	}
 	return b
@@ -288,6 +295,13 @@ func (c Cell) RunConfig() (RunConfig, error) {
 		Scheme: scheme,
 		RTT:    &rtt,
 		Shards: c.Shards,
+	}
+	if c.Tuned != nil {
+		at, err := c.Tuned.AQMAt(scheme)
+		if err != nil {
+			return RunConfig{}, err
+		}
+		cfg.AQMAt = at
 	}
 	load, flows := c.Load, c.Flows
 	switch c.Topo {

@@ -59,6 +59,10 @@ type Server struct {
 	sweeps map[string]*sweep
 	order  []string
 	nextID int
+
+	tunes      map[string]*tuneRun
+	tuneOrder  []string
+	nextTuneID int
 }
 
 // Route describes one registered API endpoint: the method, the
@@ -86,6 +90,11 @@ func Routes() []Route {
 		{"GET", "/v1/sweeps/{id}/results", "pooled per-load statistics plus per-cell results (when finished)"},
 		{"GET", "/v1/sweeps/{id}/cells/{index}/trace", "stored JSONL event trace of one cell"},
 		{"GET", "/v1/cache/stats", "result-cache counters and occupancy"},
+		{"POST", "/v1/tune", "submit a tune spec; starts the searcher and returns the run id"},
+		{"GET", "/v1/tune", "list submitted tune runs and their states"},
+		{"GET", "/v1/tune/{id}", "tune run status: state, spec, evaluations so far"},
+		{"GET", "/v1/tune/{id}/stream", "chunked NDJSON stream of per-candidate evaluation events"},
+		{"GET", "/v1/tune/{id}/result", "full TuneResult document (when finished)"},
 	}
 }
 
@@ -106,6 +115,7 @@ func New(cfg Config) (*Server, error) {
 		ctx:    ctx,
 		cancel: cancel,
 		sweeps: make(map[string]*sweep),
+		tunes:  make(map[string]*tuneRun),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -117,6 +127,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/cells/{index}/trace", s.handleCellTrace)
 	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("POST /v1/tune", s.handleTuneSubmit)
+	s.mux.HandleFunc("GET /v1/tune", s.handleTuneList)
+	s.mux.HandleFunc("GET /v1/tune/{id}", s.handleTuneStatus)
+	s.mux.HandleFunc("GET /v1/tune/{id}/stream", s.handleTuneStream)
+	s.mux.HandleFunc("GET /v1/tune/{id}/result", s.handleTuneResult)
 	return s, nil
 }
 

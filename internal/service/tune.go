@@ -1,0 +1,260 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"ecnsharp/internal/tune"
+)
+
+// tuneRun is one submitted tune and its execution state, the tuner-side
+// sibling of sweep: buffered NDJSON progress events under a cond for
+// replay-then-follow streaming, plus the final Result once finished.
+type tuneRun struct {
+	id   string
+	spec *tune.Spec
+
+	// mu guards everything below; cond broadcasts on every appended
+	// event and on the terminal state transition.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  string
+	errMsg string
+	events []json.RawMessage
+	evals  int
+	result []byte // canonical Result bytes when state == done
+}
+
+// SubmitTune validates nothing further (the spec arrives normalized from
+// tune.ParseSpec), registers the run and starts the tuner asynchronously.
+// It is the programmatic form of POST /v1/tune.
+func (s *Server) SubmitTune(spec *tune.Spec) *tuneRun {
+	s.mu.Lock()
+	s.nextTuneID++
+	tr := &tuneRun{
+		id:    fmt.Sprintf("tn-%d", s.nextTuneID),
+		spec:  spec,
+		state: stateRunning,
+	}
+	tr.cond = sync.NewCond(&tr.mu)
+	s.tunes[tr.id] = tr
+	s.tuneOrder = append(s.tuneOrder, tr.id)
+	s.mu.Unlock()
+	go s.runTune(tr)
+	return tr
+}
+
+// runTune drives tune.Run with progress events forwarded into the run's
+// stream buffer; every cell goes through the server's cache store, so
+// re-tuning overlapping specs is served from disk.
+func (s *Server) runTune(tr *tuneRun) {
+	res, err := tune.Run(s.ctx, tr.spec, tune.Options{
+		Parallel: s.cfg.Parallel,
+		Timeout:  s.cfg.Timeout,
+		Store:    s.cfg.Store,
+		Version:  s.cfg.Version,
+		OnProgress: func(p tune.Progress) {
+			if p.Type == "done" {
+				// The terminal event is emitted below, with the state.
+				return
+			}
+			tr.mu.Lock()
+			tr.evals = p.Evals
+			tr.appendEventLocked(p)
+			tr.cond.Broadcast()
+			tr.mu.Unlock()
+		},
+	})
+
+	tr.mu.Lock()
+	defer func() {
+		tr.cond.Broadcast()
+		tr.mu.Unlock()
+	}()
+	if err != nil {
+		tr.state = stateFailed
+		tr.errMsg = err.Error()
+		tr.appendRawLocked(map[string]any{"type": "done", "state": tr.state, "error": tr.errMsg})
+		return
+	}
+	b, err := res.Encode()
+	if err != nil {
+		tr.state = stateFailed
+		tr.errMsg = err.Error()
+		tr.appendRawLocked(map[string]any{"type": "done", "state": tr.state, "error": tr.errMsg})
+		return
+	}
+	tr.state = stateDone
+	tr.result = b
+	tr.evals = len(res.Evals)
+	tr.appendRawLocked(map[string]any{
+		"type": "done", "state": tr.state,
+		"evals": len(res.Evals), "best_index": res.Best.Index,
+		"best_score": res.Best.Score, "default_score": res.Default.Score,
+		"improvement": res.Improvement,
+	})
+}
+
+// appendEventLocked buffers one tuner progress event; caller holds mu.
+func (tr *tuneRun) appendEventLocked(p tune.Progress) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		b = []byte(`{"type":"error","error":"event marshal failure"}`)
+	}
+	tr.events = append(tr.events, b)
+}
+
+// appendRawLocked buffers an ad-hoc event object; caller holds mu.
+func (tr *tuneRun) appendRawLocked(v map[string]any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"type":"error","error":"event marshal failure"}`)
+	}
+	tr.events = append(tr.events, b)
+}
+
+// lookupTune finds a tune run by id.
+func (s *Server) lookupTune(id string) *tuneRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tunes[id]
+}
+
+func (s *Server) handleTuneSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSpecBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, errBodyTooLarge,
+				fmt.Sprintf("spec exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, errBadRequest, err.Error())
+		return
+	}
+	spec, err := tune.ParseSpec(body)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, errSpecInvalid, err.Error())
+		return
+	}
+	tr := s.SubmitTune(spec)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":       tr.id,
+		"searcher": spec.Searcher,
+		"budget":   spec.Budget,
+		"space":    spec.Space,
+		"cells":    len(spec.Sweep.Loads) * len(spec.Sweep.Seeds),
+	})
+}
+
+func (s *Server) handleTuneList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	type item struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Evals int    `json:"evals"`
+	}
+	items := make([]item, 0, len(s.tuneOrder))
+	for _, id := range s.tuneOrder {
+		tr := s.tunes[id]
+		tr.mu.Lock()
+		items = append(items, item{ID: tr.id, State: tr.state, Evals: tr.evals})
+		tr.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"tunes": items})
+}
+
+func (s *Server) handleTuneStatus(w http.ResponseWriter, r *http.Request) {
+	tr := s.lookupTune(r.PathValue("id"))
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, errNotFound, "no such tune run")
+		return
+	}
+	tr.mu.Lock()
+	resp := map[string]any{
+		"id":     tr.id,
+		"state":  tr.state,
+		"spec":   tr.spec,
+		"evals":  tr.evals,
+		"budget": tr.spec.Budget,
+	}
+	if tr.errMsg != "" {
+		resp["error"] = tr.errMsg
+	}
+	tr.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTuneStream(w http.ResponseWriter, r *http.Request) {
+	tr := s.lookupTune(r.PathValue("id"))
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, errNotFound, "no such tune run")
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	// Replay-then-follow, exactly like the sweep stream: buffered events
+	// first, then live ones until terminal, writes outside the lock.
+	next := 0
+	for {
+		tr.mu.Lock()
+		for next >= len(tr.events) && tr.state == stateRunning {
+			tr.cond.Wait()
+		}
+		batch := tr.events[next:]
+		next = len(tr.events)
+		terminal := tr.state != stateRunning
+		tr.mu.Unlock()
+
+		for _, ev := range batch {
+			if _, err := w.Write(append(ev, '\n')); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal && len(batch) == 0 {
+			return
+		}
+		if terminal {
+			tr.mu.Lock()
+			drained := next >= len(tr.events)
+			tr.mu.Unlock()
+			if drained {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleTuneResult(w http.ResponseWriter, r *http.Request) {
+	tr := s.lookupTune(r.PathValue("id"))
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, errNotFound, "no such tune run")
+		return
+	}
+	tr.mu.Lock()
+	state, errMsg, result := tr.state, tr.errMsg, tr.result
+	evals := tr.evals
+	tr.mu.Unlock()
+	switch state {
+	case stateRunning:
+		writeErr(w, http.StatusConflict, errNotFinished,
+			fmt.Sprintf("tune run is still running (%d evaluations so far)", evals))
+		return
+	case stateFailed:
+		writeErr(w, http.StatusConflict, errNotFinished, errMsg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(result)
+}

@@ -32,6 +32,27 @@ type LinkParams struct {
 // TenGbps is the link rate used throughout the paper's evaluation.
 const TenGbps = 10e9
 
+// Switch tier names reported in PortLoc.Tier.
+const (
+	// TierEdge is the single switch layer of star and dumbbell networks.
+	TierEdge = "edge"
+	// TierLeaf is the host-facing layer of a leaf-spine fabric.
+	TierLeaf = "leaf"
+	// TierSpine is the core layer of a leaf-spine fabric.
+	TierSpine = "spine"
+)
+
+// PortLoc identifies where a switch egress port sits in the fabric, for
+// location-aware AQM assignment via Options.NewAQMAt.
+type PortLoc struct {
+	// Tier is TierEdge, TierLeaf or TierSpine.
+	Tier string
+	// Switch indexes the owning switch in Net.Switches.
+	Switch int
+	// Name is the owning switch's name ("sw0", "left", "leaf3", "spine1").
+	Name string
+}
+
 // Options configures topology construction.
 type Options struct {
 	// Link parameterizes every link (the paper's networks are uniform).
@@ -49,6 +70,12 @@ type Options struct {
 	// NewAQM builds the AQM for switch egress queue q of some port; nil
 	// means no marking. It is called once per (port, queue).
 	NewAQM func(q int) aqm.AQM
+	// NewAQMAt, when non-nil, takes precedence over NewAQM and receives
+	// each port's location, so heterogeneous fabrics can run different
+	// marking parameters per switch or per tier (the internal/tune
+	// multi-agent hook). It is called once per (port, queue); nil keeps
+	// the location-blind NewAQM path byte-for-byte unchanged.
+	NewAQMAt func(loc PortLoc, q int) aqm.AQM
 	// HostBufferBytes bounds the host NIC queue; 0 = unbounded (hosts do
 	// not mark or drop in the paper's setups).
 	HostBufferBytes int64
@@ -432,14 +459,19 @@ func newPool(o *Options) *queue.SharedPool {
 }
 
 // newEgress builds a switch egress buffer per the options; pool may be
-// nil for static per-port buffering.
-func newEgress(o *Options, pool *queue.SharedPool, pkts *packet.Pool) *queue.Egress {
+// nil for static per-port buffering. loc names the owning switch so
+// Options.NewAQMAt can assign location-specific marking parameters.
+func newEgress(o *Options, loc PortLoc, pool *queue.SharedPool, pkts *packet.Pool) *queue.Egress {
 	var sched queue.Scheduler
 	if o.NewSched != nil {
 		sched = o.NewSched()
 	}
 	var factory func(int) aqm.AQM
-	if o.NewAQM != nil {
+	switch {
+	case o.NewAQMAt != nil:
+		at := o.NewAQMAt
+		factory = func(q int) aqm.AQM { return at(loc, q) }
+	case o.NewAQM != nil:
 		factory = o.NewAQM
 	}
 	eg := queue.NewEgress(o.NumQueues, sched, o.Link.BufferBytes, factory)
@@ -594,7 +626,7 @@ func buildStar(n int, opts *Options, legacyEng *sim.Engine) *Net {
 		h := device.NewHost(eng, i)
 		h.Pool = pkts
 		h.NIC = device.NewPort(eng, newHostEgress(opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
-		down := w.port(0, 0, newEgress(opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
+		down := w.port(0, 0, newEgress(opts, PortLoc{TierEdge, 0, "sw0"}, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
 		w.addSwitchPort(0, down)
@@ -644,8 +676,8 @@ func buildDumbbell(nPairs int, opts *Options, legacyEng *sim.Engine) *Net {
 	net.switchDoms = []int{leftDom, rightDom}
 
 	// The inter-switch bottleneck carries AQM in both directions.
-	l2r := w.port(leftDom, rightDom, newEgress(opts, leftPool, w.pool(leftDom)), opts.Link.RateBps, opts.FabricPropDelay, right)
-	r2l := w.port(rightDom, leftDom, newEgress(opts, rightPool, w.pool(rightDom)), opts.Link.RateBps, opts.FabricPropDelay, left)
+	l2r := w.port(leftDom, rightDom, newEgress(opts, PortLoc{TierEdge, 0, "left"}, leftPool, w.pool(leftDom)), opts.Link.RateBps, opts.FabricPropDelay, right)
+	r2l := w.port(rightDom, leftDom, newEgress(opts, PortLoc{TierEdge, 1, "right"}, rightPool, w.pool(rightDom)), opts.Link.RateBps, opts.FabricPropDelay, left)
 	w.addSwitchPort(leftDom, l2r)
 	w.addSwitchPort(rightDom, r2l)
 	w.addLink("left-right", l2r, leftDom, 0, -1, -1)
@@ -664,7 +696,7 @@ func buildDumbbell(nPairs int, opts *Options, legacyEng *sim.Engine) *Net {
 		}
 		h.Pool = pkts
 		h.NIC = device.NewPort(eng, newHostEgress(opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, sw)
-		down := w.port(swDom, dom, newEgress(opts, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
+		down := w.port(swDom, dom, newEgress(opts, PortLoc{TierEdge, swIdx, swName}, pool, pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 		sw.AddRoute(i, down)
 		net.hostPorts[i] = down
 		w.addSwitchPort(swDom, down)
@@ -771,7 +803,7 @@ func buildLeafSpine(spines, leaves, hostsPerLeaf int, opts *Options, legacyEng *
 			h := device.NewHost(eng, id)
 			h.Pool = pkts
 			h.NIC = device.NewPort(eng, newHostEgress(opts, pkts), opts.Link.RateBps, opts.Link.PropDelay, leafSw[l])
-			down := w.port(dom, dom, newEgress(opts, leafPools[l], pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
+			down := w.port(dom, dom, newEgress(opts, PortLoc{TierLeaf, fab.leafSw[l], leafSw[l].Name()}, leafPools[l], pkts), opts.Link.RateBps, opts.Link.PropDelay, h)
 			leafRoutes[l].local[k] = down
 			net.hostPorts[id] = down
 			w.addSwitchPort(dom, down)
@@ -786,8 +818,8 @@ func buildLeafSpine(spines, leaves, hostsPerLeaf int, opts *Options, legacyEng *
 	// so the ECMP hash selects identical paths.
 	for l := 0; l < leaves; l++ {
 		for s := 0; s < spines; s++ {
-			up := w.port(ldom(l), sdom(s), newEgress(opts, leafPools[l], w.pool(ldom(l))), opts.Link.RateBps, opts.FabricPropDelay, spineSw[s])
-			down := w.port(sdom(s), ldom(l), newEgress(opts, spinePools[s], w.pool(sdom(s))), opts.Link.RateBps, opts.FabricPropDelay, leafSw[l])
+			up := w.port(ldom(l), sdom(s), newEgress(opts, PortLoc{TierLeaf, fab.leafSw[l], leafSw[l].Name()}, leafPools[l], w.pool(ldom(l))), opts.Link.RateBps, opts.FabricPropDelay, spineSw[s])
+			down := w.port(sdom(s), ldom(l), newEgress(opts, PortLoc{TierSpine, fab.spineSw[s], spineSw[s].Name()}, spinePools[s], w.pool(sdom(s))), opts.Link.RateBps, opts.FabricPropDelay, leafSw[l])
 			w.addSwitchPort(ldom(l), up)
 			w.addSwitchPort(sdom(s), down)
 			w.addLink(fmt.Sprintf("leaf%d-spine%d", l, s), up, ldom(l), fab.leafSw[l], l, s)

@@ -1,0 +1,39 @@
+package tune
+
+import (
+	"testing"
+
+	"ecnsharp/internal/experiments"
+)
+
+// TestTunedVsDefaultRegistered pins the experiments.Register wiring: the
+// experiment is discoverable by id exactly once, and its committed spec
+// parses.
+func TestTunedVsDefaultRegistered(t *testing.T) {
+	e, err := experiments.ByID("tuned-vs-default")
+	if err != nil {
+		t.Fatalf("tuned-vs-default not registered: %v", err)
+	}
+	if e.Run == nil || e.Brief == "" {
+		t.Fatalf("incomplete registration: %+v", e)
+	}
+	n := 0
+	for _, x := range experiments.All() {
+		if x.ID == "tuned-vs-default" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("registered %d times", n)
+	}
+	spec, err := ParseSpec([]byte(Fig6TuneSpecJSON))
+	if err != nil {
+		t.Fatalf("committed spec invalid: %v", err)
+	}
+	if spec.Sweep.RTTVariation < 2 {
+		t.Errorf("committed spec is not an RTT-variation workload (variation %v)", spec.Sweep.RTTVariation)
+	}
+	if spec.Seed == 0 || spec.Searcher != "hillclimb" {
+		t.Errorf("committed spec lost its seed/searcher: %+v", spec)
+	}
+}

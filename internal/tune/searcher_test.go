@@ -1,0 +1,216 @@
+package tune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// driveSynthetic runs a searcher against a closed-form objective with no
+// simulator: the same alternating Propose/Observe loop tune.Run uses,
+// returning every (vector, score) evaluated and the best.
+func driveSynthetic(t *testing.T, sp *Space, s Searcher, f func([]float64) float64, maxRounds int) (evals []Eval, best Eval) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	best = Eval{Score: math.Inf(1)}
+	for round := 0; round < maxRounds; round++ {
+		batch := s.Propose(sp, rng)
+		if len(batch) == 0 {
+			return evals, best
+		}
+		scores := make([]float64, len(batch))
+		for i, v := range batch {
+			scores[i] = f(v)
+			ev := Eval{Index: len(evals), Vector: v, Score: scores[i]}
+			evals = append(evals, ev)
+			if scores[i] < best.Score {
+				best = ev
+			}
+		}
+		s.Observe(scores)
+	}
+	t.Fatalf("%s: no convergence after %d rounds", s.Name(), maxRounds)
+	return nil, Eval{}
+}
+
+func twoDim() *Space {
+	return &Space{Dims: []Dim{
+		{Name: "x", Min: 0, Max: 100, Default: 50},
+		{Name: "y", Min: -10, Max: 10, Default: 0},
+	}}
+}
+
+// TestGridHitsKnownOptimum plants the optimum on a lattice point and
+// requires grid search to find it exactly, not approximately.
+func TestGridHitsKnownOptimum(t *testing.T) {
+	sp := twoDim()
+	// With 5 points per dim the lattice contains (25, -5) exactly.
+	f := func(v []float64) float64 {
+		return math.Abs(v[0]-25) + math.Abs(v[1]+5)
+	}
+	evals, best := driveSynthetic(t, sp, &Grid{Points: 5}, f, 10)
+	if len(evals) != 25 {
+		t.Fatalf("grid evaluated %d points, want 25", len(evals))
+	}
+	if best.Vector[0] != 25 || best.Vector[1] != -5 || best.Score != 0 {
+		t.Errorf("grid best = %v (score %v), want exactly [25 -5]", best.Vector, best.Score)
+	}
+}
+
+// TestGridLatticeCapped keeps a pathological lattice bounded.
+func TestGridLatticeCapped(t *testing.T) {
+	dims := make([]Dim, 8)
+	for i := range dims {
+		dims[i] = Dim{Name: string(rune('a' + i)), Min: 0, Max: 1, Default: 0}
+	}
+	sp := &Space{Dims: dims}
+	evals, _ := driveSynthetic(t, sp, &Grid{Points: 10}, func([]float64) float64 { return 0 }, 10)
+	if len(evals) > MaxGridPoints {
+		t.Errorf("grid proposed %d points, cap is %d", len(evals), MaxGridPoints)
+	}
+}
+
+// TestRandomSeedReproducible pins random search to its rng seed: same
+// seed, identical proposals; different seed, different proposals.
+func TestRandomSeedReproducible(t *testing.T) {
+	sp := twoDim()
+	propose := func(seed int64) [][]float64 {
+		r := &Random{Samples: 20}
+		return r.Propose(sp, rand.New(rand.NewSource(seed)))
+	}
+	a, b, c := propose(42), propose(42), propose(43)
+	if len(a) != 20 {
+		t.Fatalf("proposed %d samples, want 20", len(a))
+	}
+	for i := range a {
+		if !equalVec(a[i], b[i]) {
+			t.Fatalf("same seed diverged at sample %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if !equalVec(a[i], c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds proposed identical batches")
+	}
+	if r := (&Random{Samples: 20}); r.Propose(sp, rand.New(rand.NewSource(1))) == nil {
+		t.Fatal("first Propose empty")
+	} else if r.Propose(sp, rand.New(rand.NewSource(1))) != nil {
+		t.Error("random search proposed a second batch")
+	}
+}
+
+// TestHillClimbConvergesOnConvexBowl requires the climber to approach the
+// minimum of a smooth convex bowl well beyond its seed points.
+func TestHillClimbConvergesOnConvexBowl(t *testing.T) {
+	sp := twoDim()
+	min := []float64{70, -3}
+	f := func(v []float64) float64 {
+		dx, dy := v[0]-min[0], v[1]-min[1]
+		return dx*dx + dy*dy
+	}
+	_, best := driveSynthetic(t, sp, &HillClimb{Restarts: 2}, f, 500)
+	// Convergence threshold is MinStepFrac (1/64) of each range: 1.5625
+	// on x, 0.3125 on y; allow twice that.
+	if math.Abs(best.Vector[0]-min[0]) > 2*100.0/64 || math.Abs(best.Vector[1]-min[1]) > 2*20.0/64 {
+		t.Errorf("hill climb stopped at %v (score %v), want near %v", best.Vector, best.Score, min)
+	}
+}
+
+// TestHillClimbRespectsBoundsProperty is the bounds property test: over
+// randomized spaces (random bounds, anchors, steps, scope counts) every
+// vector any searcher proposes stays inside the box, and stepped
+// dimensions stay on their lattice.
+func TestHillClimbRespectsBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		nd := 1 + rng.Intn(3)
+		dims := make([]Dim, nd)
+		for i := range dims {
+			lo := rng.Float64()*200 - 100
+			span := rng.Float64() * 300
+			d := Dim{Name: string(rune('a' + i)), Min: lo, Max: lo + span}
+			d.Default = d.Min + rng.Float64()*span
+			if rng.Intn(2) == 0 {
+				d.Step = span / float64(1+rng.Intn(20))
+			}
+			dims[i] = d
+		}
+		sp := &Space{Dims: dims}
+		if rng.Intn(2) == 0 {
+			sp.Scopes = []string{"leaf", "spine"}
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid space: %v", trial, err)
+		}
+		searchers := []Searcher{
+			&HillClimb{Restarts: rng.Intn(3), StepFrac: 0.5},
+			&Grid{Points: 1 + rng.Intn(4)},
+			&Random{Samples: 5},
+		}
+		f := func(v []float64) float64 {
+			s := 0.0
+			for _, x := range v {
+				s += math.Abs(x)
+			}
+			return s
+		}
+		for _, s := range searchers {
+			drive := rand.New(rand.NewSource(int64(trial)))
+			for round := 0; round < 200; round++ {
+				batch := s.Propose(sp, drive)
+				if len(batch) == 0 {
+					break
+				}
+				scores := make([]float64, len(batch))
+				for i, v := range batch {
+					if !sp.Contains(v) {
+						t.Fatalf("trial %d: %s proposed out-of-bounds vector %v in space %+v", trial, s.Name(), v, sp.Dims)
+					}
+					for p, x := range v {
+						d := sp.dim(p)
+						// The paper-default anchor is evaluated exactly,
+						// even off-lattice; only searched values snap.
+						if d.Step <= 0 || x == d.Default {
+							continue
+						}
+						k := math.Round((x - d.Min) / d.Step)
+						onLattice := math.Abs(x-(d.Min+k*d.Step)) < 1e-9
+						if !onLattice && x != d.Max && x != d.Min {
+							t.Fatalf("trial %d: %s proposed off-lattice value %v (dim %+v)", trial, s.Name(), x, d)
+						}
+					}
+					scores[i] = f(v)
+				}
+				s.Observe(scores)
+			}
+		}
+	}
+}
+
+// TestHillClimbBeatsAnchorWhenDownhillExists checks the climber never
+// returns something worse than the anchor it seeds from.
+func TestHillClimbBeatsAnchorWhenDownhillExists(t *testing.T) {
+	sp := &Space{Dims: []Dim{{Name: "x", Min: 0, Max: 10, Default: 9}}}
+	f := func(v []float64) float64 { return v[0] }
+	_, best := driveSynthetic(t, sp, &HillClimb{}, f, 500)
+	if best.Score >= 9 {
+		t.Errorf("hill climb failed to improve on anchor: best %v", best)
+	}
+}
+
+// TestNewSearcherNames pins the spec-facing names.
+func TestNewSearcherNames(t *testing.T) {
+	for _, name := range []string{"grid", "random", "hillclimb"} {
+		s, err := NewSearcher(name, 0, 0, 0, 0, 0)
+		if err != nil || s.Name() != name {
+			t.Errorf("NewSearcher(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := NewSearcher("bogus", 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown searcher accepted")
+	}
+}
